@@ -1,0 +1,68 @@
+// Shared plumbing for the per-figure benchmark binaries.
+//
+// Every binary reads two environment knobs:
+//   TREEMEM_SCALE    — corpus scale factor (default 1.0; 4.0 approaches the
+//                      paper's matrix sizes at proportional runtime)
+//   TREEMEM_OUT      — output directory for CSVs (default ./bench_out)
+// and prints the paper's table/figure to stdout while writing the raw data
+// to CSV for external plotting.
+#pragma once
+
+#include <algorithm>
+#include <cstdlib>
+#include <filesystem>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "perf/corpus.hpp"
+#include "support/timer.hpp"
+
+namespace treemem::bench {
+
+inline double scale_from_env() {
+  if (const char* env = std::getenv("TREEMEM_SCALE")) {
+    const double parsed = std::strtod(env, nullptr);
+    if (parsed > 0.0) {
+      return parsed;
+    }
+  }
+  // Default: assembly trees up to ~10^4 nodes (the paper's UF filter gives
+  // 2e4..2e5 matrix rows; TREEMEM_SCALE=16 reaches that regime).
+  return 4.0;
+}
+
+inline std::string output_dir() {
+  std::string dir = "bench_out";
+  if (const char* env = std::getenv("TREEMEM_OUT")) {
+    dir = env;
+  }
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+inline CorpusOptions corpus_options() {
+  CorpusOptions options;
+  options.scale = scale_from_env();
+  return options;
+}
+
+/// Median wall-clock seconds of `reps` runs of `fn`.
+template <typename Fn>
+double median_time_s(Fn&& fn, int reps = 3) {
+  std::vector<double> times;
+  times.reserve(static_cast<std::size_t>(reps));
+  for (int r = 0; r < reps; ++r) {
+    Timer timer;
+    fn();
+    times.push_back(timer.elapsed_s());
+  }
+  std::sort(times.begin(), times.end());
+  return times[times.size() / 2];
+}
+
+inline void print_header(const std::string& title) {
+  std::cout << "\n=== " << title << " ===\n";
+}
+
+}  // namespace treemem::bench

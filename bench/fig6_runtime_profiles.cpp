@@ -1,0 +1,87 @@
+// Figure 6: performance profiles of the running times of the three
+// MinMemory algorithms (PostOrder, Liu, MinMem) on the assembly-tree
+// corpus.
+//
+// Paper's result: MinMem is the fastest algorithm in ~80% of the cases and
+// clearly outperforms Liu; PostOrder (O(p log p)) is cheap but suboptimal
+// in memory. Timings run serially (no thread contention) with median-of-3.
+#include <iostream>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/liu.hpp"
+#include "core/minmem.hpp"
+#include "core/postorder.hpp"
+#include "perf/profile.hpp"
+#include "support/csv.hpp"
+#include "support/text_table.hpp"
+
+namespace {
+
+using namespace treemem;
+
+int run() {
+  const auto instances = build_corpus_instances(bench::corpus_options());
+  bench::print_header("Fig. 6 — runtime profiles of PostOrder / Liu / MinMem");
+  std::cout << "instances: " << instances.size() << ", median of 3 runs each\n";
+
+  CsvWriter csv(bench::output_dir() + "/fig6_runtimes.csv",
+                {"instance", "nodes", "postorder_s", "liu_s", "minmem_s",
+                 "optimal_peak"});
+  std::vector<std::vector<double>> times;
+  int minmem_fastest = 0;
+  int postorder_fastest = 0;
+  int liu_fastest = 0;
+  for (const CorpusInstance& inst : instances) {
+    Weight po_peak = 0;
+    Weight liu_peak = 0;
+    Weight mm_peak = 0;
+    const double po_s =
+        bench::median_time_s([&]() { po_peak = best_postorder(inst.tree).peak; });
+    const double liu_s =
+        bench::median_time_s([&]() { liu_peak = liu_optimal(inst.tree).peak; });
+    const double mm_s =
+        bench::median_time_s([&]() { mm_peak = minmem_optimal(inst.tree).peak; });
+    TM_CHECK(liu_peak == mm_peak, "optimal algorithms disagree on " << inst.name);
+    TM_CHECK(po_peak >= mm_peak, "postorder beat the optimum on " << inst.name);
+    csv.write_row({inst.name,
+                   CsvWriter::cell(static_cast<long long>(inst.tree.size())),
+                   CsvWriter::cell(po_s), CsvWriter::cell(liu_s),
+                   CsvWriter::cell(mm_s),
+                   CsvWriter::cell(static_cast<long long>(mm_peak))});
+    times.push_back({mm_s, po_s, liu_s});
+    if (mm_s <= po_s && mm_s <= liu_s) {
+      ++minmem_fastest;
+    } else if (po_s <= liu_s) {
+      ++postorder_fastest;
+    } else {
+      ++liu_fastest;
+    }
+  }
+
+  ProfileOptions options;
+  options.max_tau = 5.0;  // the paper plots tau in [1, 5]
+  const auto profiles =
+      performance_profiles(times, {"MinMem", "PostOrder", "Liu"}, options);
+  std::cout << "\nFig. 6 — runtime performance profiles (tau in [1,5]):\n"
+            << render_profiles(profiles, "tau (time / fastest)");
+
+  TextTable table({"algorithm", "fastest on", "fraction"});
+  auto frac = [&](int count) {
+    std::ostringstream oss;
+    oss << std::fixed << std::setprecision(1)
+        << 100.0 * count / static_cast<double>(instances.size()) << "%";
+    return oss.str();
+  };
+  table.add_row({"MinMem", std::to_string(minmem_fastest), frac(minmem_fastest)});
+  table.add_row({"PostOrder", std::to_string(postorder_fastest), frac(postorder_fastest)});
+  table.add_row({"Liu", std::to_string(liu_fastest), frac(liu_fastest)});
+  std::cout << "\n" << table.to_string();
+  std::cout << "paper: MinMem fastest in ~80% of cases, Liu slowest overall\n";
+  std::cout << "raw data: " << csv.path() << "\n";
+  return 0;
+}
+
+}  // namespace
+
+int main() { return run(); }

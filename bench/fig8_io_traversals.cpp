@@ -1,0 +1,104 @@
+// Figure 8: I/O volume of the three MinMemory algorithms' traversals, each
+// equipped with the FirstFit eviction heuristic, over the same
+// (instance, memory budget) cases as Fig. 7.
+//
+// Paper's result: PostOrder's traversals yield the least I/O; Liu beats
+// MinMem because its construction produces long chains of dependent tasks
+// whose files are consumed quickly — MinMem's cut-driven order spreads
+// files over time and pays for it out-of-core.
+#include <algorithm>
+#include <iostream>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/liu.hpp"
+#include "core/minio.hpp"
+#include "core/minmem.hpp"
+#include "core/postorder.hpp"
+#include "perf/profile.hpp"
+#include "support/csv.hpp"
+#include "support/parallel_for.hpp"
+
+namespace {
+
+using namespace treemem;
+
+constexpr int kMemorySteps = 5;
+
+struct CaseResult {
+  std::string instance;
+  Weight memory = 0;
+  Weight po_io = 0;
+  Weight liu_io = 0;
+  Weight mm_io = 0;
+};
+
+int run() {
+  const auto instances = build_corpus_instances(bench::corpus_options());
+  bench::print_header(
+      "Fig. 8 — I/O volume of PostOrder/Liu/MinMem traversals + FirstFit");
+
+  std::vector<std::vector<CaseResult>> per_instance(instances.size());
+  parallel_for(instances.size(), [&](std::size_t i) {
+    const Tree& tree = instances[i].tree;
+    const TraversalResult po = best_postorder(tree);
+    const TraversalResult liu = liu_optimal(tree);
+    const MinMemResult mm = minmem_optimal(tree);
+    const Weight lo = std::max(tree.max_mem_req(), tree.file_size(tree.root()));
+    // Sweep between the elementwise bound and the *optimal* peak — the same
+    // budget grid as Fig. 7, so every traversal is under genuine pressure on
+    // the whole range (PostOrder's own peak is at least this).
+    const Weight hi = std::min({po.peak, liu.peak, mm.peak});
+    if (lo >= hi) {
+      return;
+    }
+    for (int step = 0; step < kMemorySteps; ++step) {
+      CaseResult result;
+      result.instance = instances[i].name;
+      result.memory = lo + (hi - lo) * step / kMemorySteps;
+      const auto io_of = [&](const Traversal& order) {
+        const MinIoResult res = minio_heuristic(tree, order, result.memory,
+                                                EvictionPolicy::kFirstFit);
+        TM_CHECK(res.feasible, "FirstFit infeasible above max MemReq");
+        return res.io_volume;
+      };
+      result.po_io = io_of(po.order);
+      result.liu_io = io_of(liu.order);
+      result.mm_io = io_of(mm.order);
+      per_instance[i].push_back(result);
+    }
+  });
+
+  CsvWriter csv(bench::output_dir() + "/fig8_io_traversals.csv",
+                {"instance", "memory", "postorder_io", "liu_io", "minmem_io"});
+  std::vector<std::vector<double>> cases;
+  for (const auto& instance_cases : per_instance) {
+    for (const CaseResult& c : instance_cases) {
+      csv.write_row({c.instance,
+                     CsvWriter::cell(static_cast<long long>(c.memory)),
+                     CsvWriter::cell(static_cast<long long>(c.po_io)),
+                     CsvWriter::cell(static_cast<long long>(c.liu_io)),
+                     CsvWriter::cell(static_cast<long long>(c.mm_io))});
+      cases.push_back({static_cast<double>(c.po_io),
+                       static_cast<double>(c.liu_io),
+                       static_cast<double>(c.mm_io)});
+    }
+  }
+
+  std::cout << "cases: " << cases.size() << "\n";
+  ProfileOptions options;
+  options.max_tau = 5.0;
+  const auto profiles = performance_profiles(
+      cases,
+      {"PostOrder + First Fit", "Liu + First Fit", "MinMem + First Fit"},
+      options);
+  std::cout << "\nFig. 8 — I/O volume performance profiles:\n"
+            << render_profiles(profiles, "tau (IO / best)");
+  std::cout << "paper: PostOrder best, Liu second, MinMem worst for I/O\n";
+  std::cout << "raw data: " << csv.path() << "\n";
+  return 0;
+}
+
+}  // namespace
+
+int main() { return run(); }

@@ -1,0 +1,94 @@
+// Figure 9 + Table II: PostOrder vs the optimal traversal on *random-weight*
+// trees — the structures of the assembly-tree corpus with weights redrawn
+// as n_i ∈ [1, p/500] and f_i ∈ [1, p] (Section VI-E).
+//
+// Paper's result (>3200 trees): PostOrder non-optimal in 61% of cases,
+// ratio up to 2.22, average 1.12, σ 0.13 — random weights break the benign
+// structure of real assembly trees and make optimal algorithms mandatory.
+#include <iomanip>
+#include <iostream>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/minmem.hpp"
+#include "core/postorder.hpp"
+#include "perf/profile.hpp"
+#include "support/csv.hpp"
+#include "support/parallel_for.hpp"
+#include "support/text_table.hpp"
+
+namespace {
+
+using namespace treemem;
+
+int run() {
+  // Several weight re-rolls per structure multiply the case count, like the
+  // paper's 3200+ trees from 291 structures.
+  const auto instances =
+      build_random_weight_instances(bench::corpus_options(), /*replicas=*/3);
+  bench::print_header("Fig. 9 / Table II — PostOrder vs optimal on random trees");
+  std::cout << "instances: " << instances.size()
+            << " (corpus structures x 3 random re-weightings)\n";
+
+  struct Row {
+    Weight postorder = 0;
+    Weight optimal = 0;
+  };
+  std::vector<Row> rows(instances.size());
+  parallel_for(instances.size(), [&](std::size_t i) {
+    rows[i].postorder = best_postorder_peak(instances[i].tree);
+    rows[i].optimal = minmem_optimal(instances[i].tree).peak;
+  });
+
+  CsvWriter csv(bench::output_dir() + "/fig9_table2.csv",
+                {"instance", "nodes", "postorder_peak", "optimal_peak", "ratio"});
+  std::vector<double> po;
+  std::vector<double> opt;
+  std::vector<std::vector<double>> cases;
+  for (std::size_t i = 0; i < instances.size(); ++i) {
+    TM_CHECK(rows[i].postorder >= rows[i].optimal,
+             "postorder beat the optimum on " << instances[i].name);
+    const double ratio = static_cast<double>(rows[i].postorder) /
+                         static_cast<double>(rows[i].optimal);
+    csv.write_row({instances[i].name,
+                   CsvWriter::cell(static_cast<long long>(instances[i].tree.size())),
+                   CsvWriter::cell(static_cast<long long>(rows[i].postorder)),
+                   CsvWriter::cell(static_cast<long long>(rows[i].optimal)),
+                   CsvWriter::cell(ratio)});
+    po.push_back(static_cast<double>(rows[i].postorder));
+    opt.push_back(static_cast<double>(rows[i].optimal));
+    cases.push_back({static_cast<double>(rows[i].optimal),
+                     static_cast<double>(rows[i].postorder)});
+  }
+
+  const RatioStats stats = ratio_stats(po, opt);
+  TextTable table({"statistic", "value", "paper (random trees)"});
+  {
+    std::ostringstream frac;
+    frac << std::fixed << std::setprecision(1)
+         << 100.0 * stats.non_optimal_fraction << "%";
+    table.add_row({"Non optimal PostOrder traversals", frac.str(), "61%"});
+  }
+  auto fmt = [](double v) {
+    std::ostringstream oss;
+    oss << std::fixed << std::setprecision(3) << v;
+    return oss.str();
+  };
+  table.add_row({"Max. PostOrder to opt. cost ratio", fmt(stats.max_ratio), "2.22"});
+  table.add_row({"Avg. PostOrder to opt. cost ratio", fmt(stats.mean_ratio), "1.12"});
+  table.add_row({"Std. dev. of ratio", fmt(stats.stddev_ratio), "0.13"});
+  std::cout << "\nTable II:\n" << table.to_string();
+
+  std::cout << "\nFig. 9 — profile over all random-weight cases:\n";
+  ProfileOptions options;
+  options.max_tau = 2.5;
+  const auto profiles =
+      performance_profiles(cases, {"Optimal", "PostOrder"}, options);
+  std::cout << render_profiles(profiles, "tau (memory / optimal)");
+  std::cout << "raw data: " << csv.path() << "\n";
+  return 0;
+}
+
+}  // namespace
+
+int main() { return run(); }

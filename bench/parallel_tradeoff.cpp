@@ -1,0 +1,111 @@
+// Extension bench: the parallel memory/speedup trade-off the paper's
+// conclusion motivates. For a sample of corpus assembly trees, simulate the
+// multifrontal task tree on 1..16 workers and report (a) the speedup and
+// (b) the shared-memory peak, then repeat with the memory capped at the
+// serial optimum to show how the bound throttles parallelism.
+#include <iomanip>
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "core/minmem.hpp"
+#include "parallel/parallel_sim.hpp"
+#include "support/csv.hpp"
+#include "support/text_table.hpp"
+
+namespace {
+
+using namespace treemem;
+
+int run() {
+  CorpusOptions options = bench::corpus_options();
+  options.relax_values = {4};  // one amalgamation level suffices here
+  const auto instances = build_corpus_instances(options);
+  bench::print_header(
+      "Extension — parallel traversal: speedup vs shared-memory peak");
+
+  CsvWriter csv(bench::output_dir() + "/parallel_tradeoff.csv",
+                {"instance", "workers", "priority", "memory_budget",
+                 "feasible", "makespan", "speedup", "peak_memory"});
+
+  TextTable table({"instance", "w", "speedup (free)", "peak / serial peak",
+                   "speedup (cap 1.5x)", "slowdown from cap"});
+  auto fmt = [](double v) {
+    std::ostringstream oss;
+    oss << std::fixed << std::setprecision(2) << v;
+    return oss.str();
+  };
+
+  // A manageable sample: one instance per matrix family per ordering.
+  for (std::size_t i = 0; i < instances.size(); i += 7) {
+    const Tree& tree = instances[i].tree;
+    const Weight serial_opt = minmem_optimal(tree).peak;
+
+    for (const int workers : {2, 4, 8, 16}) {
+      ParallelOptions free_opts;
+      free_opts.workers = workers;
+      const auto free_run = simulate_parallel_traversal(tree, free_opts);
+      TM_CHECK(free_run.feasible, "unbounded run must be feasible");
+
+      // Cap at 1.5x the serial optimum (a tight cap can deadlock the
+      // greedy scheduler outright — eagerly started subtrees strand
+      // resident files; the CSV sweeps 1.0x/1.5x/2.0x to chart where the
+      // throttle becomes a deadlock).
+      ParallelOptions capped = free_opts;
+      capped.memory_budget =
+          std::max(serial_opt * 3 / 2, tree.max_mem_req());
+      const auto capped_run = simulate_parallel_traversal(tree, capped);
+      for (const int pct : {100, 200}) {
+        ParallelOptions sweep = free_opts;
+        sweep.memory_budget =
+            std::max(serial_opt * pct / 100, tree.max_mem_req());
+        const auto sweep_run = simulate_parallel_traversal(tree, sweep);
+        csv.write_row({instances[i].name,
+                       CsvWriter::cell(static_cast<long long>(workers)),
+                       "cap" + std::to_string(pct),
+                       std::to_string(sweep.memory_budget),
+                       sweep_run.feasible ? "1" : "0",
+                       CsvWriter::cell(sweep_run.makespan),
+                       CsvWriter::cell(sweep_run.speedup),
+                       CsvWriter::cell(static_cast<long long>(sweep_run.peak_memory))});
+      }
+
+      for (const auto& [label, run, budget] :
+           {std::tuple{"free", &free_run, kInfiniteWeight},
+            std::tuple{"capped", &capped_run, capped.memory_budget}}) {
+        csv.write_row(
+            {instances[i].name, CsvWriter::cell(static_cast<long long>(workers)),
+             label,
+             budget == kInfiniteWeight
+                 ? std::string("inf")
+                 : std::to_string(budget),
+             run->feasible ? "1" : "0", CsvWriter::cell(run->makespan),
+             CsvWriter::cell(run->speedup),
+             CsvWriter::cell(static_cast<long long>(run->peak_memory))});
+      }
+
+      if (workers == 8) {
+        table.add_row(
+            {instances[i].name, std::to_string(workers), fmt(free_run.speedup),
+             fmt(static_cast<double>(free_run.peak_memory) /
+                 static_cast<double>(serial_opt)),
+             capped_run.feasible ? fmt(capped_run.speedup)
+                                 : "deadlock",
+             capped_run.feasible
+                 ? fmt(capped_run.makespan / free_run.makespan)
+                 : "-"});
+      }
+    }
+  }
+  std::cout << table.to_string();
+  std::cout << "\nreading: parallel speedup costs memory — 8 workers push the\n"
+               "peak to 2-3x the serial optimum. Tight caps throttle the\n"
+               "schedule or deadlock the greedy scheduler outright (started\n"
+               "subtrees strand resident files) — the memory/parallelism\n"
+               "tension the paper's conclusion anticipates.\n";
+  std::cout << "raw data: " << csv.path() << "\n";
+  return 0;
+}
+
+}  // namespace
+
+int main() { return run(); }

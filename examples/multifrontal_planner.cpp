@@ -1,0 +1,78 @@
+// Multifrontal factorization planner: the full pipeline of the paper on a
+// generated sparse matrix.
+//
+//   matrix  ->  fill-reducing ordering  ->  elimination tree + column counts
+//           ->  relaxed amalgamation (assembly tree)
+//           ->  MinMemory planning (PostOrder vs optimal)
+//
+//   $ ./multifrontal_planner [grid_side] [relax]
+//
+// Prints, for both orderings, the factor statistics and the in-core memory
+// needed by the multifrontal method under the best postorder and under the
+// optimal traversal — i.e., exactly what a solver's analysis phase would
+// use to size its workspace.
+#include <cstdlib>
+#include <iomanip>
+#include <iostream>
+
+#include "core/liu.hpp"
+#include "core/minmem.hpp"
+#include "core/postorder.hpp"
+#include "order/ordering.hpp"
+#include "sparse/generators.hpp"
+#include "sparse/pattern.hpp"
+#include "support/text_table.hpp"
+#include "symbolic/assembly_tree.hpp"
+#include "symbolic/symbolic.hpp"
+#include "tree/tree.hpp"
+
+using namespace treemem;
+
+int main(int argc, char** argv) {
+  const Index side = argc > 1 ? static_cast<Index>(std::atoi(argv[1])) : 48;
+  const Index relax = argc > 2 ? static_cast<Index>(std::atoi(argv[2])) : 4;
+  TM_CHECK(side >= 2 && relax >= 0, "usage: multifrontal_planner [side] [relax]");
+
+  std::cout << "problem: " << side << "x" << side
+            << " 2-D grid Laplacian (5-point stencil), relax=" << relax << "\n";
+  const SparsePattern a = symmetrize(gen::grid2d(side, side));
+  std::cout << "matrix:  n=" << a.cols() << "  nnz=" << a.nnz() << "\n\n";
+
+  TextTable table({"ordering", "nnz(L)", "tree nodes", "height", "PostOrder",
+                   "Optimal", "overhead"});
+  for (const char* name : {"min-degree", "nested-dissection", "natural"}) {
+    std::vector<Index> perm;
+    if (std::string(name) == "min-degree") {
+      perm = min_degree_order(a);
+    } else if (std::string(name) == "nested-dissection") {
+      perm = nested_dissection_order(a);
+    } else {
+      perm = natural_order(a.cols());
+    }
+    const SparsePattern permuted = permute_symmetric(a, perm);
+
+    AssemblyTreeOptions options;
+    options.relax = relax;
+    const AssemblyTree at = build_assembly_tree(permuted, options);
+    const TreeStats stats = compute_stats(at.tree);
+
+    const Weight po = best_postorder_peak(at.tree);
+    const MinMemResult opt = minmem_optimal(at.tree);
+    TM_CHECK(liu_optimal_peak(at.tree) == opt.peak,
+             "optimal algorithms disagree");
+
+    std::ostringstream overhead;
+    overhead << std::fixed << std::setprecision(2)
+             << 100.0 * (static_cast<double>(po) / static_cast<double>(opt.peak) - 1.0)
+             << "%";
+    table.add_row({name, std::to_string(factor_nnz(permuted)),
+                   std::to_string(at.tree.size()), std::to_string(stats.height),
+                   std::to_string(po), std::to_string(opt.peak),
+                   overhead.str()});
+  }
+  std::cout << table.to_string();
+  std::cout << "\n'PostOrder' / 'Optimal': in-core memory (matrix entries) for\n"
+               "the multifrontal factorization under each traversal;\n"
+               "'overhead' is the postorder penalty the paper quantifies.\n";
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Numerical multifrontal Cholesky, end to end:
+//   SPD matrix -> ordering -> assembly tree -> traversal planning ->
+//   actual factorization -> residual check and memory report.
+//
+// Demonstrates that the traversal choice changes the *memory profile* of
+// the factorization while leaving the numbers untouched — the very premise
+// of the paper.
+//
+//   $ ./numeric_factorization [grid_side]
+#include <cstdlib>
+#include <iomanip>
+#include <iostream>
+
+#include "core/check.hpp"
+#include "core/minmem.hpp"
+#include "core/postorder.hpp"
+#include "core/trace.hpp"
+#include "multifrontal/numeric.hpp"
+#include "order/ordering.hpp"
+#include "sparse/generators.hpp"
+#include "support/text_table.hpp"
+#include "symbolic/assembly_tree.hpp"
+
+using namespace treemem;
+
+int main(int argc, char** argv) {
+  const Index side = argc > 1 ? static_cast<Index>(std::atoi(argv[1])) : 16;
+  TM_CHECK(side >= 2 && side <= 40,
+           "usage: numeric_factorization [side in 2..40]");
+
+  const SparsePattern pattern = symmetrize(gen::grid2d(side, side));
+  const SymmetricMatrix a = make_spd_matrix(pattern, /*seed=*/2011);
+  const std::vector<Index> perm = min_degree_order(pattern);
+  const SymmetricMatrix permuted = a.permuted(perm);
+
+  AssemblyTreeOptions options;
+  options.relax = 0;  // perfect supernodes: model == machine, exactly
+  const AssemblyTree assembly = build_assembly_tree(permuted.pattern(), options);
+  std::cout << "matrix: n=" << pattern.cols() << " nnz=" << pattern.nnz()
+            << ", assembly tree: " << assembly.tree.size() << " supernodes\n\n";
+
+  TextTable table({"traversal", "peak live entries", "model peak", "residual"});
+  for (const bool optimal : {false, true}) {
+    const Traversal bottom_up =
+        optimal ? reverse_traversal(minmem_optimal(assembly.tree).order)
+                : reverse_traversal(best_postorder(assembly.tree).order);
+    const MultifrontalResult run =
+        multifrontal_cholesky(permuted, assembly, bottom_up);
+    const Weight model_peak = in_tree_traversal_peak(assembly.tree, bottom_up);
+    std::ostringstream residual;
+    residual << std::scientific << std::setprecision(2)
+             << relative_residual(permuted, run.factor);
+    table.add_row({optimal ? "MinMem (optimal)" : "best postorder",
+                   std::to_string(run.peak_live_entries),
+                   std::to_string(model_peak), residual.str()});
+  }
+  std::cout << table.to_string();
+  std::cout << "\nwith perfect supernodes (relax=0) the engine's measured\n"
+               "live memory equals the paper's weighted-tree model exactly;\n"
+               "both traversals produce the same factor (same residual), but\n"
+               "the optimal traversal can need less memory to do it.\n";
+  return 0;
+}

@@ -1,0 +1,76 @@
+// Quickstart: build a small task tree by hand, run the three MinMemory
+// algorithms, check the results with Algorithm 1, and plan an out-of-core
+// execution with Algorithm 2.
+//
+//   $ ./quickstart
+//
+// This walks through the exact example of tests/test_util.hpp: a root with
+// two subtrees whose optimal traversal interleaves them.
+#include <iostream>
+
+#include "core/check.hpp"
+#include "core/liu.hpp"
+#include "core/minio.hpp"
+#include "core/minmem.hpp"
+#include "core/postorder.hpp"
+#include "tree/tree.hpp"
+#include "tree/tree_io.hpp"
+
+using namespace treemem;
+
+int main() {
+  // --- 1. Describe the task tree -------------------------------------------
+  // Each task has an input file (from its parent) and an execution file.
+  // The root's input can be empty.
+  TreeBuilder builder;
+  const NodeId root = builder.add_root(/*file=*/0, /*work=*/1);
+  const NodeId left = builder.add_child(root, /*file=*/4, /*work=*/0);
+  const NodeId right = builder.add_child(root, /*file=*/6, /*work=*/2);
+  builder.add_child(left, /*file=*/2, /*work=*/0);
+  builder.add_child(right, /*file=*/3, /*work=*/1);
+  const Tree tree = std::move(builder).build();
+
+  std::cout << "task tree (treemem text format):\n" << tree_to_string(tree);
+  std::cout << "MemReq per node:";
+  for (NodeId i = 0; i < tree.size(); ++i) {
+    std::cout << ' ' << tree.mem_req(i);
+  }
+  std::cout << "\n\n";
+
+  // --- 2. MinMemory: how much memory does an in-core run need? -------------
+  const TraversalResult po = best_postorder(tree);     // Liu 1986
+  const TraversalResult liu = liu_optimal(tree);       // Liu 1987, optimal
+  const MinMemResult mm = minmem_optimal(tree);        // the paper's MinMem
+
+  auto show = [&](const char* name, Weight peak, const Traversal& order) {
+    std::cout << name << ": peak = " << peak << ", order =";
+    for (const NodeId u : order) {
+      std::cout << ' ' << u;
+    }
+    // Algorithm 1 double-checks feasibility at exactly this budget.
+    const CheckResult check = check_in_core(tree, order, peak);
+    std::cout << (check.feasible ? "  [Algorithm 1: OK]" : "  [INFEASIBLE!]")
+              << "\n";
+  };
+  show("PostOrder", po.peak, po.order);
+  show("LiuExact ", liu.peak, liu.order);
+  show("MinMem   ", mm.peak, mm.order);
+
+  // --- 3. MinIO: what if memory is short by a few units? -------------------
+  const Weight budget = mm.peak - 1;
+  std::cout << "\nout-of-core plan with memory " << budget << " (one below the "
+            << "optimal in-core peak):\n";
+  const MinIoResult io =
+      minio_heuristic(tree, mm.order, budget, EvictionPolicy::kFirstFit);
+  std::cout << "  FirstFit writes " << io.files_written
+            << " file(s), I/O volume " << io.io_volume << "\n";
+  for (const IoWrite& w : io.schedule.writes) {
+    std::cout << "    before step " << w.step << ": write file of node "
+              << w.node << " (size " << tree.file_size(w.node) << ")\n";
+  }
+  const CheckResult check = check_out_of_core(tree, io.schedule, budget);
+  std::cout << "  Algorithm 2 check: "
+            << (check.feasible ? "feasible" : check.reason)
+            << ", volume " << check.io_volume << "\n";
+  return 0;
+}

@@ -1,0 +1,158 @@
+// treemem_cli — command-line front end for the library.
+//
+// Usage:
+//   treemem_cli plan <matrix.mtx> [--order mindeg|nd|rcm|natural]
+//                    [--relax R] [--memory M]
+//       Reads a Matrix Market file, builds the assembly tree and prints the
+//       MinMemory analysis; with --memory it also plans the I/O schedule.
+//
+//   treemem_cli tree <tree.txt> [--memory M]
+//       Same analysis for a task tree in the treemem text format.
+//
+//   treemem_cli gen grid2d <nx> <ny> <out.mtx>
+//       Writes a generated matrix for experimentation.
+#include <cstring>
+#include <iostream>
+#include <optional>
+#include <string>
+
+#include "core/liu.hpp"
+#include "core/minio.hpp"
+#include "core/minmem.hpp"
+#include "core/postorder.hpp"
+#include "order/ordering.hpp"
+#include "sparse/generators.hpp"
+#include "sparse/mm_io.hpp"
+#include "support/text_table.hpp"
+#include "symbolic/assembly_tree.hpp"
+#include "tree/tree_io.hpp"
+
+using namespace treemem;
+
+namespace {
+
+int usage() {
+  std::cerr
+      << "usage:\n"
+      << "  treemem_cli plan <matrix.mtx> [--order mindeg|nd|rcm|natural]"
+         " [--relax R] [--memory M]\n"
+      << "  treemem_cli tree <tree.txt> [--memory M]\n"
+      << "  treemem_cli gen grid2d <nx> <ny> <out.mtx>\n";
+  return 2;
+}
+
+void analyze(const Tree& tree, std::optional<Weight> memory) {
+  const TraversalResult po = best_postorder(tree);
+  const MinMemResult opt = minmem_optimal(tree);
+  TM_CHECK(liu_optimal_peak(tree) == opt.peak, "optimal algorithms disagree");
+
+  TextTable table({"quantity", "value"});
+  const TreeStats stats = compute_stats(tree);
+  table.add_row({"tree nodes", std::to_string(stats.nodes)});
+  table.add_row({"tree height", std::to_string(stats.height)});
+  table.add_row({"max MemReq (hard floor)", std::to_string(tree.max_mem_req())});
+  table.add_row({"best postorder memory", std::to_string(po.peak)});
+  table.add_row({"optimal memory (MinMem)", std::to_string(opt.peak)});
+  std::cout << table.to_string();
+
+  if (memory) {
+    std::cout << "\nout-of-core plan for memory budget " << *memory << ":\n";
+    if (*memory >= opt.peak) {
+      std::cout << "  budget covers the in-core optimum: no I/O needed.\n";
+      return;
+    }
+    TextTable io_table({"traversal + policy", "I/O volume", "files written"});
+    const struct {
+      const char* name;
+      const Traversal* order;
+    } traversals[] = {{"PostOrder", &po.order}, {"MinMem", &opt.order}};
+    for (const auto& t : traversals) {
+      for (const EvictionPolicy policy :
+           {EvictionPolicy::kFirstFit, EvictionPolicy::kLsnf}) {
+        const MinIoResult res =
+            minio_heuristic(tree, *t.order, *memory, policy);
+        if (!res.feasible) {
+          io_table.add_row({std::string(t.name) + " + " + to_string(policy),
+                            "infeasible (M < max MemReq)", "-"});
+          continue;
+        }
+        io_table.add_row({std::string(t.name) + " + " + to_string(policy),
+                          std::to_string(res.io_volume),
+                          std::to_string(res.files_written)});
+      }
+    }
+    std::cout << io_table.to_string();
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) {
+    return usage();
+  }
+  const std::string command = argv[1];
+
+  try {
+    if (command == "gen") {
+      if (argc != 6 || std::strcmp(argv[2], "grid2d") != 0) {
+        return usage();
+      }
+      const Index nx = static_cast<Index>(std::atoi(argv[3]));
+      const Index ny = static_cast<Index>(std::atoi(argv[4]));
+      write_matrix_market_file(argv[5], gen::grid2d(nx, ny), true);
+      std::cout << "wrote " << argv[5] << " (" << nx * ny << " rows)\n";
+      return 0;
+    }
+
+    // Shared flag parsing for `plan` and `tree`.
+    std::string order_name = "mindeg";
+    Index relax = 4;
+    std::optional<Weight> memory;
+    for (int i = 3; i < argc; ++i) {
+      if (std::strcmp(argv[i], "--order") == 0 && i + 1 < argc) {
+        order_name = argv[++i];
+      } else if (std::strcmp(argv[i], "--relax") == 0 && i + 1 < argc) {
+        relax = static_cast<Index>(std::atoi(argv[++i]));
+      } else if (std::strcmp(argv[i], "--memory") == 0 && i + 1 < argc) {
+        memory = static_cast<Weight>(std::atoll(argv[++i]));
+      } else {
+        return usage();
+      }
+    }
+
+    if (command == "tree") {
+      analyze(load_tree(argv[2]), memory);
+      return 0;
+    }
+    if (command != "plan") {
+      return usage();
+    }
+
+    const SparsePattern a = symmetrize(read_matrix_market_file(argv[2]));
+    std::cout << "matrix: n=" << a.cols() << " nnz=" << a.nnz()
+              << " (symmetrized), ordering=" << order_name
+              << ", relax=" << relax << "\n";
+    std::vector<Index> perm;
+    if (order_name == "mindeg") {
+      perm = min_degree_order(a);
+    } else if (order_name == "nd") {
+      perm = nested_dissection_order(a);
+    } else if (order_name == "rcm") {
+      perm = rcm_order(a);
+    } else if (order_name == "natural") {
+      perm = natural_order(a.cols());
+    } else {
+      return usage();
+    }
+    AssemblyTreeOptions options;
+    options.relax = relax;
+    const AssemblyTree at =
+        build_assembly_tree(permute_symmetric(a, perm), options);
+    analyze(at.tree, memory);
+  } catch (const Error& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+  return 0;
+}

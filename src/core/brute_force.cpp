@@ -1,0 +1,147 @@
+#include "core/brute_force.hpp"
+
+#include <algorithm>
+#include <vector>
+
+namespace treemem {
+
+namespace {
+
+struct MaskDp {
+  const Tree& tree;
+  std::vector<Weight> memo;       // min peak from this executed-set onward
+  std::vector<char> known;
+  std::uint32_t full;
+
+  explicit MaskDp(const Tree& t)
+      : tree(t),
+        memo(std::size_t{1} << t.size(), 0),
+        known(std::size_t{1} << t.size(), 0),
+        full((t.size() == 32 ? 0xffffffffu
+                             : ((std::uint32_t{1} << t.size()) - 1))) {}
+
+  bool executed(std::uint32_t mask, NodeId u) const {
+    return (mask >> u) & 1u;
+  }
+
+  bool ready(std::uint32_t mask, NodeId u) const {
+    if (executed(mask, u)) {
+      return false;
+    }
+    const NodeId par = tree.parent(u);
+    return par == kNoNode || executed(mask, par);
+  }
+
+  Weight resident(std::uint32_t mask) const {
+    Weight total = 0;
+    for (NodeId u = 0; u < tree.size(); ++u) {
+      if (ready(mask, u)) {
+        total += tree.file_size(u);
+      }
+    }
+    return total;
+  }
+
+  Weight solve(std::uint32_t mask) {
+    if (mask == full) {
+      return 0;
+    }
+    if (known[mask]) {
+      return memo[mask];
+    }
+    known[mask] = 1;
+    memo[mask] = kInfiniteWeight;  // breaks cycles; trees have none
+    const Weight res = resident(mask);
+    Weight best = kInfiniteWeight;
+    for (NodeId u = 0; u < tree.size(); ++u) {
+      if (!ready(mask, u)) {
+        continue;
+      }
+      const Weight transient = res + tree.work_size(u) + tree.child_file_sum(u);
+      const Weight rest = solve(mask | (std::uint32_t{1} << u));
+      best = std::min(best, std::max(transient, rest));
+    }
+    memo[mask] = best;
+    return best;
+  }
+};
+
+}  // namespace
+
+Weight brute_force_min_memory(const Tree& tree) {
+  TM_CHECK(tree.size() <= 22,
+           "brute_force_min_memory: tree too large (" << tree.size() << ")");
+  MaskDp dp(tree);
+  return std::max(tree.file_size(tree.root()), dp.solve(0));
+}
+
+namespace {
+
+Weight postorder_peak_rec(const Tree& tree, NodeId u) {
+  const auto kids = tree.children(u);
+  const Weight floor =
+      std::max(tree.file_size(u), tree.mem_req(u));
+  if (kids.empty()) {
+    return floor;
+  }
+  TM_CHECK(kids.size() <= 8,
+           "brute_force_best_postorder: node " << u << " has " << kids.size()
+                                               << " children (max 8)");
+  std::vector<Weight> peak(kids.size());
+  std::vector<std::size_t> perm(kids.size());
+  for (std::size_t t = 0; t < kids.size(); ++t) {
+    peak[t] = postorder_peak_rec(tree, kids[t]);
+    perm[t] = t;
+  }
+  Weight best = kInfiniteWeight;
+  std::sort(perm.begin(), perm.end());
+  do {
+    Weight suffix = 0;
+    Weight cost = floor;
+    for (std::size_t t = perm.size(); t-- > 0;) {
+      const std::size_t c = perm[t];
+      cost = std::max(cost, peak[c] + suffix);
+      suffix += tree.file_size(kids[c]);
+    }
+    best = std::min(best, cost);
+  } while (std::next_permutation(perm.begin(), perm.end()));
+  return best;
+}
+
+void enumerate_orders(const Tree& tree, std::vector<NodeId>& ready,
+                      Traversal& prefix, std::vector<Traversal>& out) {
+  if (prefix.size() == static_cast<std::size_t>(tree.size())) {
+    out.push_back(prefix);
+    return;
+  }
+  // Choose each ready node in turn.
+  for (std::size_t i = 0; i < ready.size(); ++i) {
+    const NodeId u = ready[i];
+    std::vector<NodeId> next_ready = ready;
+    next_ready.erase(next_ready.begin() + static_cast<std::ptrdiff_t>(i));
+    for (const NodeId c : tree.children(u)) {
+      next_ready.push_back(c);
+    }
+    prefix.push_back(u);
+    enumerate_orders(tree, next_ready, prefix, out);
+    prefix.pop_back();
+  }
+}
+
+}  // namespace
+
+Weight brute_force_best_postorder(const Tree& tree) {
+  return postorder_peak_rec(tree, tree.root());
+}
+
+std::vector<Traversal> all_traversals(const Tree& tree) {
+  TM_CHECK(tree.size() <= 9,
+           "all_traversals: tree too large (" << tree.size() << ")");
+  std::vector<Traversal> out;
+  std::vector<NodeId> ready{tree.root()};
+  Traversal prefix;
+  enumerate_orders(tree, ready, prefix, out);
+  return out;
+}
+
+}  // namespace treemem

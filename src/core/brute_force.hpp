@@ -1,0 +1,26 @@
+// Exhaustive reference solvers for small trees.
+//
+// These are the ground truth the optimized algorithms are validated
+// against in the test suite: a bitmask DP over all traversals for
+// MinMemory, an exhaustive child-permutation search for the best postorder,
+// and full topological-order enumeration for tiny instances.
+#pragma once
+
+#include "core/traversal.hpp"
+#include "tree/tree.hpp"
+
+namespace treemem {
+
+/// Optimal MinMemory value over *all* traversals, by DP over the 2^p
+/// downward-closed execution sets. Requires p <= 22.
+Weight brute_force_min_memory(const Tree& tree);
+
+/// Best postorder peak by enumerating all child permutations at every node.
+/// Requires every node to have at most 8 children.
+Weight brute_force_best_postorder(const Tree& tree);
+
+/// All topological orders (out-tree traversals) of a tiny tree (p <= 9 —
+/// the count explodes factorially).
+std::vector<Traversal> all_traversals(const Tree& tree);
+
+}  // namespace treemem

@@ -1,0 +1,43 @@
+// Bottom-up (in-tree) convenience wrappers.
+//
+// The paper's algorithms are stated on out-trees (root processed first);
+// multifrontal codes think bottom-up (leaves first, contribution blocks
+// flowing toward the root). Section III-C's reversal duality makes the two
+// views interchangeable; these wrappers return in-tree orders directly so
+// solver-side callers never touch reverse_traversal themselves. Peaks are
+// identical by the duality (which the test suite verifies independently).
+#pragma once
+
+#include "core/liu.hpp"
+#include "core/minmem.hpp"
+#include "core/postorder.hpp"
+#include "core/traversal.hpp"
+#include "tree/tree.hpp"
+
+namespace treemem {
+
+/// Best postorder, as a leaves-to-root order.
+inline TraversalResult in_tree_best_postorder(const Tree& tree) {
+  TraversalResult result = best_postorder(tree);
+  result.order = reverse_traversal(std::move(result.order));
+  return result;
+}
+
+/// Liu's optimal traversal, as a leaves-to-root order (this is the
+/// direction Liu's 1987 algorithm natively constructs).
+inline TraversalResult in_tree_liu_optimal(
+    const Tree& tree, LiuMergeStrategy strategy = LiuMergeStrategy::kHeap) {
+  TraversalResult result = liu_optimal(tree, strategy);
+  result.order = reverse_traversal(std::move(result.order));
+  return result;
+}
+
+/// The paper's MinMem, as a leaves-to-root order.
+inline MinMemResult in_tree_minmem_optimal(const Tree& tree,
+                                           const MinMemOptions& options = {}) {
+  MinMemResult result = minmem_optimal(tree, options);
+  result.order = reverse_traversal(std::move(result.order));
+  return result;
+}
+
+}  // namespace treemem

@@ -1,0 +1,186 @@
+#include "core/liu.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <utility>
+
+namespace treemem {
+
+namespace {
+
+/// One hill–valley segment. Levels are relative to the owning subtree's
+/// start; `seq` is the bottom-up execution sequence realizing the segment
+/// (empty when only peaks are requested).
+struct Segment {
+  Weight hill = 0;
+  Weight valley = 0;
+  std::vector<NodeId> seq;
+};
+
+using Chain = std::vector<Segment>;
+
+/// Appends `s` to the normalized chain `chain`, restoring the invariant
+/// hills strictly decreasing / valleys strictly increasing by absorbing
+/// dominated predecessors (their execution sequences are spliced in front).
+void push_normalized(Chain& chain, Segment s) {
+  while (!chain.empty()) {
+    Segment& back = chain.back();
+    if (back.hill <= s.hill) {
+      // The earlier hill is dominated by this later, higher hill; its valley
+      // lies before the new maximum and disappears from the canonical form.
+      if (!back.seq.empty() || !s.seq.empty()) {
+        std::vector<NodeId> merged = std::move(back.seq);
+        merged.insert(merged.end(), s.seq.begin(), s.seq.end());
+        s.seq = std::move(merged);
+      }
+      chain.pop_back();
+    } else if (back.valley >= s.valley) {
+      // The later valley is at least as deep: the earlier one is not a true
+      // valley of the canonical decomposition.
+      s.hill = back.hill;
+      if (!back.seq.empty() || !s.seq.empty()) {
+        std::vector<NodeId> merged = std::move(back.seq);
+        merged.insert(merged.end(), s.seq.begin(), s.seq.end());
+        s.seq = std::move(merged);
+      }
+      chain.pop_back();
+    } else {
+      break;
+    }
+  }
+  chain.push_back(std::move(s));
+}
+
+/// Merges the children chains of one node in non-increasing h−v order and
+/// appends the node's own execution event; returns the normalized chain.
+/// `track_order` controls whether execution sequences are carried along.
+Chain combine_at_node(const Tree& tree, NodeId x, std::vector<Chain> kids,
+                      bool track_order, LiuMergeStrategy strategy) {
+  Chain out;
+
+  // Current resident level contributed by each child chain, and the total.
+  std::vector<Weight> level(kids.size(), 0);
+  Weight total = 0;
+
+  auto emit = [&](std::size_t chain_idx, Segment& seg) {
+    const Weight abs_hill = total - level[chain_idx] + seg.hill;
+    total += seg.valley - level[chain_idx];
+    level[chain_idx] = seg.valley;
+    Segment abs_seg;
+    abs_seg.hill = abs_hill;
+    abs_seg.valley = total;
+    abs_seg.seq = std::move(seg.seq);
+    push_normalized(out, std::move(abs_seg));
+  };
+
+  if (strategy == LiuMergeStrategy::kHeap) {
+    // Max-heap on h−v over the front segments of all chains.
+    struct HeapEntry {
+      Weight key;
+      std::size_t chain;
+      std::size_t seg;
+    };
+    auto cmp = [](const HeapEntry& a, const HeapEntry& b) {
+      if (a.key != b.key) {
+        return a.key < b.key;  // max-heap
+      }
+      return a.chain > b.chain;  // deterministic tie-break
+    };
+    std::priority_queue<HeapEntry, std::vector<HeapEntry>, decltype(cmp)> heap(cmp);
+    for (std::size_t c = 0; c < kids.size(); ++c) {
+      if (!kids[c].empty()) {
+        heap.push({kids[c][0].hill - kids[c][0].valley, c, 0});
+      }
+    }
+    while (!heap.empty()) {
+      const HeapEntry top = heap.top();
+      heap.pop();
+      emit(top.chain, kids[top.chain][top.seg]);
+      const std::size_t next = top.seg + 1;
+      if (next < kids[top.chain].size()) {
+        heap.push({kids[top.chain][next].hill - kids[top.chain][next].valley,
+                   top.chain, next});
+      }
+    }
+  } else {
+    // Flatten and stable-sort by h−v descending. Within a chain h−v is
+    // strictly decreasing, so a stable sort preserves chain order.
+    std::vector<std::pair<std::size_t, std::size_t>> flat;
+    for (std::size_t c = 0; c < kids.size(); ++c) {
+      for (std::size_t s = 0; s < kids[c].size(); ++s) {
+        flat.emplace_back(c, s);
+      }
+    }
+    std::stable_sort(flat.begin(), flat.end(), [&](const auto& a, const auto& b) {
+      const Weight ka = kids[a.first][a.second].hill - kids[a.first][a.second].valley;
+      const Weight kb = kids[b.first][b.second].hill - kids[b.first][b.second].valley;
+      return ka > kb;
+    });
+    for (const auto& [c, s] : flat) {
+      emit(c, kids[c][s]);
+    }
+  }
+
+  // The node's own execution: all children files (= total) are resident,
+  // n_x and f_x live on top, and afterwards only f_x remains.
+  Segment self;
+  self.hill = total + tree.work_size(x) + tree.file_size(x);
+  self.valley = tree.file_size(x);
+  if (track_order) {
+    self.seq.push_back(x);
+  }
+  push_normalized(out, std::move(self));
+  return out;
+}
+
+/// Bottom-up driver shared by both public entry points.
+Chain build_root_chain(const Tree& tree, bool track_order,
+                       LiuMergeStrategy strategy) {
+  const auto p = static_cast<std::size_t>(tree.size());
+  std::vector<Chain> chain(p);
+  const auto& order = tree.top_down_order();
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    const NodeId x = *it;
+    std::vector<Chain> kids;
+    kids.reserve(static_cast<std::size_t>(tree.num_children(x)));
+    for (const NodeId c : tree.children(x)) {
+      kids.push_back(std::move(chain[static_cast<std::size_t>(c)]));
+      chain[static_cast<std::size_t>(c)].clear();
+    }
+    chain[static_cast<std::size_t>(x)] =
+        combine_at_node(tree, x, std::move(kids), track_order, strategy);
+  }
+  return std::move(chain[static_cast<std::size_t>(tree.root())]);
+}
+
+Weight chain_peak(const Chain& chain) {
+  TM_ASSERT(!chain.empty(), "Liu: empty root chain");
+  // Hills are decreasing, valleys increasing: the peak is the first hill or
+  // the final resident level, whichever is larger (the latter matters only
+  // for variant models with negative execution files).
+  return std::max(chain.front().hill, chain.back().valley);
+}
+
+}  // namespace
+
+Weight liu_optimal_peak(const Tree& tree, LiuMergeStrategy strategy) {
+  return chain_peak(build_root_chain(tree, /*track_order=*/false, strategy));
+}
+
+TraversalResult liu_optimal(const Tree& tree, LiuMergeStrategy strategy) {
+  Chain root_chain = build_root_chain(tree, /*track_order=*/true, strategy);
+  TraversalResult result;
+  result.peak = chain_peak(root_chain);
+  result.order.reserve(static_cast<std::size_t>(tree.size()));
+  for (Segment& seg : root_chain) {
+    result.order.insert(result.order.end(), seg.seq.begin(), seg.seq.end());
+  }
+  TM_ASSERT(result.order.size() == static_cast<std::size_t>(tree.size()),
+            "Liu: traversal lost nodes: " << result.order.size() << " of "
+                                          << tree.size());
+  // Liu's construction is bottom-up (in-tree); report out-tree order.
+  std::reverse(result.order.begin(), result.order.end());
+  return result;
+}
+
+}  // namespace treemem

@@ -1,0 +1,46 @@
+// Liu (1987)'s exact MinMemory algorithm ("An application of generalized
+// tree pebbling to sparse matrix factorization") — the `Liu` reference
+// algorithm of the paper's Section IV-B and Fig. 6.
+//
+// The algorithm runs bottom-up (in-tree direction). The memory profile of a
+// subtree traversal is normalized into *hill–valley segments*
+//   (h_1, v_1), ..., (h_s, v_s)
+// with hills strictly decreasing and valleys strictly increasing, levels
+// measured relative to the subtree's start (nothing resident) and ending at
+// f_x (the subtree's contribution block). At a node, the children's
+// segment chains are k-way merged in non-increasing h−v order (within a
+// chain h−v strictly decreases, so the merge preserves chain order), the
+// node's own execution event (hill Σf_c + n_x + f_x, valley f_x) is
+// appended, and the profile is renormalized. The first hill of the root's
+// chain — max'ed with the final resident level — is the optimal peak over
+// *all* traversals, not only postorders.
+//
+// The public entry point reports the traversal in out-tree order (root
+// first) to match the rest of the library; internally it is the reverse of
+// the bottom-up order Liu's algorithm constructs (the Section III-C
+// duality, which the test suite verifies rather than assumes).
+#pragma once
+
+#include "core/traversal.hpp"
+#include "tree/tree.hpp"
+
+namespace treemem {
+
+/// Strategy used to combine children chains (ablation knob; the heap merge
+/// is the faithful O(S log k) construction, the sort is a simpler
+/// alternative with identical output).
+enum class LiuMergeStrategy {
+  kHeap,       ///< k-way merge with a binary heap keyed on h−v
+  kStableSort, ///< concatenate + stable sort on h−v (same order, simpler)
+};
+
+/// Computes an optimal traversal (out-tree order) and its exact peak.
+TraversalResult liu_optimal(const Tree& tree,
+                            LiuMergeStrategy strategy = LiuMergeStrategy::kHeap);
+
+/// Peak only (skips carrying execution sequences through the merge —
+/// noticeably faster, used by benchmarks that only need the value).
+Weight liu_optimal_peak(const Tree& tree,
+                        LiuMergeStrategy strategy = LiuMergeStrategy::kHeap);
+
+}  // namespace treemem

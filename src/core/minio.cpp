@@ -1,0 +1,347 @@
+#include "core/minio.hpp"
+
+#include <algorithm>
+#include <set>
+
+namespace treemem {
+
+const char* to_string(EvictionPolicy policy) {
+  switch (policy) {
+    case EvictionPolicy::kLsnf:
+      return "LSNF";
+    case EvictionPolicy::kFirstFit:
+      return "FirstFit";
+    case EvictionPolicy::kBestFit:
+      return "BestFit";
+    case EvictionPolicy::kFirstFill:
+      return "FirstFill";
+    case EvictionPolicy::kBestFill:
+      return "BestFill";
+    case EvictionPolicy::kBestKCombination:
+      return "BestKComb";
+  }
+  return "?";
+}
+
+const std::vector<EvictionPolicy>& all_eviction_policies() {
+  static const std::vector<EvictionPolicy> kAll = {
+      EvictionPolicy::kLsnf,      EvictionPolicy::kFirstFit,
+      EvictionPolicy::kBestFit,   EvictionPolicy::kFirstFill,
+      EvictionPolicy::kBestFill,  EvictionPolicy::kBestKCombination,
+  };
+  return kAll;
+}
+
+namespace {
+
+/// Validates the order and returns per-node positions.
+std::vector<NodeId> traversal_positions(const Tree& tree,
+                                        const Traversal& order) {
+  const auto p = static_cast<std::size_t>(tree.size());
+  TM_CHECK(order.size() == p, "traversal size mismatch: " << order.size()
+                                                          << " vs " << p);
+  std::vector<NodeId> pos(p, kNoNode);
+  for (std::size_t t = 0; t < p; ++t) {
+    const NodeId u = order[t];
+    TM_CHECK(u >= 0 && static_cast<std::size_t>(u) < p && pos[static_cast<std::size_t>(u)] == kNoNode,
+             "invalid traversal at step " << t);
+    pos[static_cast<std::size_t>(u)] = static_cast<NodeId>(t);
+  }
+  for (NodeId u = 0; u < tree.size(); ++u) {
+    if (tree.parent(u) != kNoNode) {
+      TM_CHECK(pos[static_cast<std::size_t>(tree.parent(u))] < pos[static_cast<std::size_t>(u)],
+               "traversal violates precedence at node " << u);
+    }
+  }
+  return pos;
+}
+
+/// Chooses victims from `s` (resident ready files, farthest next use first)
+/// totalling at least `need`. Appends chosen indices *into s* to `chosen`.
+/// Precondition: sum of file sizes in s >= need > 0.
+void select_victims(const Tree& tree, const std::vector<NodeId>& s,
+                    Weight need, EvictionPolicy policy, int best_k,
+                    std::vector<std::size_t>& chosen) {
+  const std::size_t m = s.size();
+  std::vector<char> taken(m, 0);
+  auto size_of = [&](std::size_t idx) { return tree.file_size(s[idx]); };
+
+  auto lsnf_fill = [&](Weight remaining) {
+    for (std::size_t i = 0; i < m && remaining > 0; ++i) {
+      if (!taken[i]) {
+        taken[i] = 1;
+        chosen.push_back(i);
+        remaining -= size_of(i);
+      }
+    }
+    TM_ASSERT(remaining <= 0, "LSNF fallback could not cover the need");
+  };
+
+  switch (policy) {
+    case EvictionPolicy::kLsnf: {
+      lsnf_fill(need);
+      break;
+    }
+    case EvictionPolicy::kFirstFit: {
+      // First single file at least as large as the whole requirement.
+      for (std::size_t i = 0; i < m; ++i) {
+        if (size_of(i) >= need) {
+          chosen.push_back(i);
+          return;
+        }
+      }
+      lsnf_fill(need);
+      break;
+    }
+    case EvictionPolicy::kBestFit: {
+      Weight remaining = need;
+      while (remaining > 0) {
+        std::size_t best = m;
+        Weight best_gap = kInfiniteWeight;
+        for (std::size_t i = 0; i < m; ++i) {
+          if (taken[i]) {
+            continue;
+          }
+          const Weight gap = remaining >= size_of(i) ? remaining - size_of(i)
+                                                     : size_of(i) - remaining;
+          if (gap < best_gap) {
+            best_gap = gap;
+            best = i;
+          }
+        }
+        TM_ASSERT(best < m, "BestFit ran out of files");
+        taken[best] = 1;
+        chosen.push_back(best);
+        remaining -= size_of(best);
+      }
+      break;
+    }
+    case EvictionPolicy::kFirstFill: {
+      Weight remaining = need;
+      bool found = true;
+      while (remaining > 0 && found) {
+        found = false;
+        for (std::size_t i = 0; i < m; ++i) {
+          if (!taken[i] && size_of(i) < remaining) {
+            taken[i] = 1;
+            chosen.push_back(i);
+            remaining -= size_of(i);
+            found = true;
+            break;
+          }
+        }
+      }
+      if (remaining > 0) {
+        lsnf_fill(remaining);
+      }
+      break;
+    }
+    case EvictionPolicy::kBestFill: {
+      Weight remaining = need;
+      bool found = true;
+      while (remaining > 0 && found) {
+        found = false;
+        std::size_t best = m;
+        Weight best_size = -1;
+        for (std::size_t i = 0; i < m; ++i) {
+          if (!taken[i] && size_of(i) < remaining && size_of(i) > best_size) {
+            best_size = size_of(i);
+            best = i;
+          }
+        }
+        if (best < m) {
+          taken[best] = 1;
+          chosen.push_back(best);
+          remaining -= best_size;
+          found = true;
+        }
+      }
+      if (remaining > 0) {
+        lsnf_fill(remaining);
+      }
+      break;
+    }
+    case EvictionPolicy::kBestKCombination: {
+      Weight remaining = need;
+      while (remaining > 0) {
+        // Window: the first K untaken files.
+        std::vector<std::size_t> window;
+        for (std::size_t i = 0; i < m && window.size() < static_cast<std::size_t>(best_k); ++i) {
+          if (!taken[i]) {
+            window.push_back(i);
+          }
+        }
+        TM_ASSERT(!window.empty(), "BestK ran out of files");
+        const unsigned masks = 1u << window.size();
+        unsigned best_mask = 0;
+        Weight best_gap = kInfiniteWeight;
+        bool best_covers = false;
+        std::size_t best_count = 0;
+        for (unsigned mask = 1; mask < masks; ++mask) {
+          Weight sum = 0;
+          std::size_t count = 0;
+          for (std::size_t b = 0; b < window.size(); ++b) {
+            if (mask & (1u << b)) {
+              sum += size_of(window[b]);
+              ++count;
+            }
+          }
+          const Weight gap = remaining >= sum ? remaining - sum : sum - remaining;
+          const bool covers = sum >= remaining;
+          // Prefer the closest total; break ties toward covering subsets
+          // (finish now), then toward fewer files, then the smaller mask —
+          // all deterministic.
+          const bool better =
+              gap < best_gap ||
+              (gap == best_gap && covers && !best_covers) ||
+              (gap == best_gap && covers == best_covers && count < best_count);
+          if (best_mask == 0 || better) {
+            best_mask = mask;
+            best_gap = gap;
+            best_covers = covers;
+            best_count = count;
+          }
+        }
+        for (std::size_t b = 0; b < window.size(); ++b) {
+          if (best_mask & (1u << b)) {
+            taken[window[b]] = 1;
+            chosen.push_back(window[b]);
+            remaining -= size_of(window[b]);
+          }
+        }
+      }
+      break;
+    }
+  }
+}
+
+}  // namespace
+
+MinIoResult minio_heuristic(const Tree& tree, const Traversal& order,
+                            Weight memory, EvictionPolicy policy,
+                            const MinIoOptions& options) {
+  TM_CHECK(options.best_k >= 1 && options.best_k <= 20,
+           "best_k out of range: " << options.best_k);
+  const auto pos = traversal_positions(tree, order);
+
+  MinIoResult result;
+  result.schedule.order = order;
+
+  // Infeasible regardless of evictions iff some node's own requirement
+  // exceeds M (everything else can always be evicted).
+  if (memory < tree.max_mem_req() ||
+      memory < tree.file_size(tree.root())) {
+    result.feasible = false;
+    return result;
+  }
+
+  // Resident ready files, ordered by next use descending (farthest first).
+  // Key: position in σ; value recovered through order[].
+  auto far_first = [](NodeId a, NodeId b) { return a > b; };
+  std::set<NodeId, decltype(far_first)> resident(far_first);
+  std::vector<char> evicted(static_cast<std::size_t>(tree.size()), 0);
+
+  resident.insert(pos[static_cast<std::size_t>(tree.root())]);  // = 0
+  Weight resident_sum = tree.file_size(tree.root());
+
+  std::vector<NodeId> s_view;
+  std::vector<std::size_t> chosen;
+
+  for (std::size_t t = 0; t < order.size(); ++t) {
+    const NodeId j = order[t];
+    // j leaves the resident pool (it is consumed now); restore it first if
+    // it had been evicted.
+    if (evicted[static_cast<std::size_t>(j)]) {
+      resident_sum += tree.file_size(j);  // read back
+    } else {
+      resident.erase(static_cast<NodeId>(t));
+    }
+    // Transient demand: resident files + f_j + n_j + children files.
+    const Weight other_resident = resident_sum - tree.file_size(j);
+    Weight need = other_resident + tree.mem_req(j) - memory;
+    if (need > 0) {
+      // Materialize S (farthest next use first) and pick victims.
+      s_view.assign(resident.begin(), resident.end());
+      for (NodeId& entry : s_view) {
+        entry = order[static_cast<std::size_t>(entry)];
+      }
+      chosen.clear();
+      select_victims(tree, s_view, need, policy, options.best_k, chosen);
+      for (const std::size_t idx : chosen) {
+        const NodeId victim = s_view[idx];
+        evicted[static_cast<std::size_t>(victim)] = 1;
+        resident.erase(pos[static_cast<std::size_t>(victim)]);
+        resident_sum -= tree.file_size(victim);
+        result.io_volume += tree.file_size(victim);
+        ++result.files_written;
+        result.schedule.writes.push_back(
+            {static_cast<NodeId>(t), victim});
+      }
+      TM_ASSERT(resident_sum - tree.file_size(j) + tree.mem_req(j) <= memory,
+                "eviction did not free enough memory at step " << t);
+    }
+    // Execute j.
+    resident_sum -= tree.file_size(j);
+    for (const NodeId c : tree.children(j)) {
+      resident.insert(pos[static_cast<std::size_t>(c)]);
+      resident_sum += tree.file_size(c);
+    }
+  }
+
+  TM_ASSERT(resident.empty() && resident_sum == 0,
+            "resident pool must drain at the end");
+  result.feasible = true;
+  return result;
+}
+
+Weight divisible_io_lower_bound(const Tree& tree, const Traversal& order,
+                                Weight memory) {
+  const auto pos = traversal_positions(tree, order);
+  if (memory < tree.max_mem_req() || memory < tree.file_size(tree.root())) {
+    return kInfiniteWeight;
+  }
+
+  // remaining[u]: the portion of f_u still resident (files may be evicted
+  // fractionally; all quantities stay integral because evictions take
+  // min(need, remaining)).
+  std::vector<Weight> remaining(static_cast<std::size_t>(tree.size()), 0);
+  auto far_first = [](NodeId a, NodeId b) { return a > b; };
+  std::set<NodeId, decltype(far_first)> resident(far_first);
+
+  remaining[static_cast<std::size_t>(tree.root())] =
+      tree.file_size(tree.root());
+  resident.insert(pos[static_cast<std::size_t>(tree.root())]);
+  Weight resident_sum = tree.file_size(tree.root());
+  Weight io = 0;
+
+  for (std::size_t t = 0; t < order.size(); ++t) {
+    const NodeId j = order[t];
+    const Weight held = remaining[static_cast<std::size_t>(j)];
+    resident.erase(static_cast<NodeId>(t));
+    resident_sum -= held;
+    // Full f_j must be resident during execution (evicted part read back).
+    Weight need = resident_sum + tree.mem_req(j) - memory;
+    while (need > 0) {
+      TM_ASSERT(!resident.empty(), "divisible bound: nothing left to evict");
+      const NodeId far_pos = *resident.begin();
+      const NodeId victim = order[static_cast<std::size_t>(far_pos)];
+      const Weight take =
+          std::min(need, remaining[static_cast<std::size_t>(victim)]);
+      remaining[static_cast<std::size_t>(victim)] -= take;
+      resident_sum -= take;
+      io += take;
+      need -= take;
+      if (remaining[static_cast<std::size_t>(victim)] == 0) {
+        resident.erase(far_pos);
+      }
+    }
+    for (const NodeId c : tree.children(j)) {
+      remaining[static_cast<std::size_t>(c)] = tree.file_size(c);
+      resident.insert(pos[static_cast<std::size_t>(c)]);
+      resident_sum += tree.file_size(c);
+    }
+  }
+  return io;
+}
+
+}  // namespace treemem

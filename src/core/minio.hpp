@@ -1,0 +1,60 @@
+// The MinIO problem (Section V): given a traversal and a memory budget M,
+// schedule file evictions to secondary memory minimizing the written
+// volume. Theorem 2 shows even this fixed-traversal sub-problem is
+// NP-complete, so the paper proposes six greedy eviction policies
+// (Section V-B); all six are implemented here on a shared simulator.
+//
+// At each step, S is the list of produced-and-resident input files ordered
+// by *latest next use first* (descending σ-position), and
+//   IOReq(j) = (MemReq(j) − f_j) − M_avail
+// is the volume that must leave memory before node j can execute.
+#pragma once
+
+#include "core/traversal.hpp"
+#include "tree/tree.hpp"
+
+namespace treemem {
+
+enum class EvictionPolicy {
+  kLsnf,        ///< Last Scheduled Node First: evict farthest-use files
+  kFirstFit,    ///< first single file covering IOReq; LSNF fallback
+  kBestFit,     ///< repeatedly the file whose size is closest to IOReq
+  kFirstFill,   ///< repeatedly the first file smaller than IOReq; LSNF fallback
+  kBestFill,    ///< repeatedly the largest file smaller than IOReq; LSNF fallback
+  kBestKCombination,  ///< best subset of the first K files (K = 5 by default)
+};
+
+const char* to_string(EvictionPolicy policy);
+const std::vector<EvictionPolicy>& all_eviction_policies();
+
+struct MinIoOptions {
+  int best_k = 5;  ///< window size for kBestKCombination (the paper uses 5)
+};
+
+struct MinIoResult {
+  /// False iff no eviction schedule can make the traversal fit, i.e.
+  /// M < max_t MemReq(σ(t)).
+  bool feasible = false;
+  /// Total volume written to secondary memory (the MinIO objective).
+  Weight io_volume = 0;
+  /// Number of files written.
+  int files_written = 0;
+  /// The full schedule (passes check_out_of_core with the same volume).
+  IoSchedule schedule;
+};
+
+/// Simulates `order` under budget `memory`, evicting with `policy`.
+MinIoResult minio_heuristic(const Tree& tree, const Traversal& order,
+                            Weight memory, EvictionPolicy policy,
+                            const MinIoOptions& options = {});
+
+/// Optimal I/O volume of the *divisible* relaxation for this traversal,
+/// where fractions of files may be evicted (fractional LSNF, optimal for
+/// the divisible problem per Section II-B discussion). This is a lower
+/// bound on every integral eviction schedule for the same traversal — the
+/// "future work" bound the paper asks for, scoped per-traversal. Returns
+/// kInfiniteWeight when the traversal cannot fit at all.
+Weight divisible_io_lower_bound(const Tree& tree, const Traversal& order,
+                                Weight memory);
+
+}  // namespace treemem

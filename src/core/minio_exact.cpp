@@ -1,0 +1,187 @@
+#include "core/minio_exact.hpp"
+
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+namespace treemem {
+
+namespace {
+
+using Mask = std::uint32_t;
+using State = std::uint64_t;  // (executed << 22) | evicted
+
+constexpr int kMaskBits = 22;
+
+State pack(Mask executed, Mask evicted) {
+  return (static_cast<State>(executed) << kMaskBits) | evicted;
+}
+
+struct SearchContext {
+  const Tree& tree;
+  Weight memory;
+  const std::vector<NodeId>* forced_positions;  // nullptr = free order
+
+  bool executed(Mask mask, NodeId u) const { return (mask >> u) & 1u; }
+  bool ready(Mask mask, NodeId u) const {
+    if (executed(mask, u)) {
+      return false;
+    }
+    const NodeId par = tree.parent(u);
+    return par == kNoNode || executed(mask, par);
+  }
+};
+
+/// Enumerates the optimal-cost paths with Dijkstra. Each relaxation
+/// executes one ready node, optionally preceded by a minimal eviction set.
+Weight dijkstra(const SearchContext& ctx) {
+  const Tree& tree = ctx.tree;
+  const NodeId p = tree.size();
+  TM_CHECK(p <= kMaskBits - 2, "exact MinIO: tree too large (" << p << ")");
+  if (ctx.memory < tree.max_mem_req() ||
+      ctx.memory < tree.file_size(tree.root())) {
+    return kInfiniteWeight;
+  }
+
+  const Mask full = (Mask{1} << p) - 1;
+  std::unordered_map<State, Weight> dist;
+  using QEntry = std::pair<Weight, State>;
+  std::priority_queue<QEntry, std::vector<QEntry>, std::greater<>> queue;
+
+  const State start = pack(0, 0);
+  dist[start] = 0;
+  queue.push({0, start});
+
+  std::vector<NodeId> ready_list;
+  std::vector<NodeId> victims;
+
+  while (!queue.empty()) {
+    const auto [cost, state] = queue.top();
+    queue.pop();
+    const Mask executed = static_cast<Mask>(state >> kMaskBits);
+    const Mask evicted = static_cast<Mask>(state & ((Mask{1} << kMaskBits) - 1));
+    if (executed == full) {
+      return cost;
+    }
+    auto it = dist.find(state);
+    if (it != dist.end() && it->second < cost) {
+      continue;  // stale queue entry
+    }
+
+    // Ready nodes and resident volume.
+    ready_list.clear();
+    Weight resident_sum = 0;
+    for (NodeId u = 0; u < p; ++u) {
+      if (ctx.ready(executed, u)) {
+        ready_list.push_back(u);
+        if (!((evicted >> u) & 1u)) {
+          resident_sum += tree.file_size(u);
+        }
+      }
+    }
+
+    // How many nodes executed so far = position in a forced order.
+    NodeId step = 0;
+    if (ctx.forced_positions != nullptr) {
+      for (NodeId u = 0; u < p; ++u) {
+        if (ctx.executed(executed, u)) {
+          ++step;
+        }
+      }
+    }
+
+    for (const NodeId j : ready_list) {
+      if (ctx.forced_positions != nullptr &&
+          (*ctx.forced_positions)[static_cast<std::size_t>(j)] != step) {
+        continue;  // only the forced node may run next
+      }
+      // Resident volume of the *other* ready files; f_j counts fully
+      // (read back if evicted).
+      Weight others = resident_sum;
+      if (!((evicted >> j) & 1u)) {
+        others -= tree.file_size(j);
+      }
+      const Weight need = others + tree.mem_req(j) - ctx.memory;
+
+      // Candidate victims: resident ready files other than j.
+      victims.clear();
+      for (const NodeId u : ready_list) {
+        if (u != j && !((evicted >> u) & 1u)) {
+          victims.push_back(u);
+        }
+      }
+
+      auto relax = [&](Weight extra_cost, Mask evict_set) {
+        const Mask executed2 = executed | (Mask{1} << j);
+        Mask evicted2 = (evicted | evict_set) & ~(Mask{1} << j);
+        const State next = pack(executed2, evicted2);
+        const Weight next_cost = cost + extra_cost;
+        auto found = dist.find(next);
+        if (found == dist.end() || found->second > next_cost) {
+          dist[next] = next_cost;
+          queue.push({next_cost, next});
+        }
+      };
+
+      if (need <= 0) {
+        relax(0, 0);  // lazy eviction: never write when it already fits
+        continue;
+      }
+      TM_CHECK(victims.size() <= 16,
+               "exact MinIO: too many simultaneous victims ("
+                   << victims.size() << ")");
+      const unsigned subsets = 1u << victims.size();
+      for (unsigned mask = 1; mask < subsets; ++mask) {
+        Weight sum = 0;
+        for (std::size_t b = 0; b < victims.size(); ++b) {
+          if (mask & (1u << b)) {
+            sum += tree.file_size(victims[b]);
+          }
+        }
+        if (sum < need) {
+          continue;
+        }
+        // Keep only inclusion-minimal covering subsets.
+        bool minimal = true;
+        for (std::size_t b = 0; b < victims.size() && minimal; ++b) {
+          if ((mask & (1u << b)) &&
+              sum - tree.file_size(victims[b]) >= need) {
+            minimal = false;
+          }
+        }
+        if (!minimal) {
+          continue;
+        }
+        Mask evict_set = 0;
+        for (std::size_t b = 0; b < victims.size(); ++b) {
+          if (mask & (1u << b)) {
+            evict_set |= Mask{1} << victims[b];
+          }
+        }
+        relax(sum, evict_set);
+      }
+    }
+  }
+  return kInfiniteWeight;  // unreachable for feasible instances
+}
+
+}  // namespace
+
+Weight exact_minio(const Tree& tree, Weight memory) {
+  SearchContext ctx{tree, memory, nullptr};
+  return dijkstra(ctx);
+}
+
+Weight exact_minio_fixed_order(const Tree& tree, const Traversal& order,
+                               Weight memory) {
+  TM_CHECK(order.size() == static_cast<std::size_t>(tree.size()),
+           "exact MinIO: traversal size mismatch");
+  std::vector<NodeId> pos(order.size());
+  for (std::size_t t = 0; t < order.size(); ++t) {
+    pos[static_cast<std::size_t>(order[t])] = static_cast<NodeId>(t);
+  }
+  SearchContext ctx{tree, memory, &pos};
+  return dijkstra(ctx);
+}
+
+}  // namespace treemem

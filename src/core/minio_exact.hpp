@@ -1,0 +1,28 @@
+// Exact MinIO solvers (exponential; test/verification use only).
+//
+// Theorem 2 of the paper shows MinIO is NP-complete even for a fixed
+// postorder, so these solvers do shortest-path search (Dijkstra) over the
+// state graph of (executed set, evicted set). Two optimality-preserving
+// reductions keep the graph small:
+//   * lazy eviction — an optimal schedule exists that only evicts when the
+//     next execution does not fit (deferring a write never hurts);
+//   * minimal victim sets — evicting a proper superset of a sufficient set
+//     can be postponed file-by-file, so only inclusion-minimal covering
+//     subsets are branched on.
+#pragma once
+
+#include "core/traversal.hpp"
+#include "tree/tree.hpp"
+
+namespace treemem {
+
+/// Minimum I/O volume over *all* traversals and eviction schedules
+/// (problem (iii) of Theorem 2). Returns kInfiniteWeight when even full
+/// eviction cannot fit some node (M < max MemReq). Requires p <= 20.
+Weight exact_minio(const Tree& tree, Weight memory);
+
+/// Minimum I/O volume for the *given* traversal (problem (i) of Theorem 2).
+Weight exact_minio_fixed_order(const Tree& tree, const Traversal& order,
+                               Weight memory);
+
+}  // namespace treemem

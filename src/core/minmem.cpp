@@ -1,0 +1,243 @@
+#include "core/minmem.hpp"
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "support/stack_runner.hpp"
+
+namespace treemem {
+
+namespace {
+
+/// Keys below any real value mark cut nodes that have never been probed —
+/// they always qualify as candidates and pop first.
+constexpr Weight kUnknownKey = std::numeric_limits<Weight>::min() / 4;
+
+/// A cut member in the candidate heap. `key` is M_peak(j) − f_j: node j can
+/// be entered iff  budget − cut_weight ≥ key, so with a min-heap on `key`
+/// the candidate set of Algorithm 3 line 19 is exactly the heap prefix
+/// below `budget − cut_weight`, maintained in O(log p) per event instead of
+/// rescanning the cut.
+///
+/// Peaks travel with the cut they describe: entries of discarded
+/// (rejected) explorations vanish with them, so a stale peak can never
+/// gate a live configuration — the flaw a global per-node memo would have,
+/// since Explore results are only meaningful relative to a persisted state.
+struct CutEntry {
+  Weight key = kUnknownKey;
+  NodeId node = kNoNode;
+};
+
+struct CutKeyGreater {
+  bool operator()(const CutEntry& a, const CutEntry& b) const {
+    return a.key != b.key ? a.key > b.key : a.node > b.node;
+  }
+};
+
+/// Min-heap over cut entries (std::*_heap with inverted comparator).
+class CutHeap {
+ public:
+  bool empty() const { return entries_.empty(); }
+  std::size_t size() const { return entries_.size(); }
+  const CutEntry& top() const { return entries_.front(); }
+
+  void push(CutEntry entry) {
+    entries_.push_back(entry);
+    std::push_heap(entries_.begin(), entries_.end(), CutKeyGreater{});
+  }
+
+  CutEntry pop() {
+    std::pop_heap(entries_.begin(), entries_.end(), CutKeyGreater{});
+    const CutEntry entry = entries_.back();
+    entries_.pop_back();
+    return entry;
+  }
+
+  void splice(CutHeap&& other) {
+    for (const CutEntry& entry : other.entries_) {
+      push(entry);
+    }
+    other.entries_.clear();
+  }
+
+  const std::vector<CutEntry>& entries() const { return entries_; }
+
+ private:
+  std::vector<CutEntry> entries_;
+};
+
+class MinMemSolver {
+ public:
+  explicit MinMemSolver(const Tree& tree) : tree_(tree) {}
+
+  /// Executions are appended to the shared `order_` buffer as they happen;
+  /// a caller that rejects an exploration truncates the buffer back to its
+  /// pre-call length. This keeps the hot path allocation-free.
+  struct Outcome {
+    Weight min_mem = kInfiniteWeight;  ///< footprint of the reachable cut
+    Weight peak = kInfiniteWeight;     ///< least budget visiting a new node
+    CutHeap cut;
+  };
+
+  MinMemResult solve(bool warm_start) {
+    MinMemResult result;
+    // Lower bound: every node must satisfy Eq. (1), and the root's input
+    // file must fit before anything executes (relevant for variant models
+    // with negative execution files).
+    Weight avail =
+        std::max(tree_.max_mem_req(), tree_.file_size(tree_.root()));
+
+    ++result.iterations;
+    order_.clear();
+    order_.reserve(static_cast<std::size_t>(tree_.size()));
+    Outcome top = explore(tree_.root(), avail);
+    TM_ASSERT(top.min_mem < kInfiniteWeight,
+              "root must be executable at the lower bound");
+    CutHeap cut = std::move(top.cut);
+    Weight cut_weight = top.min_mem;
+    Weight next_peak = top.peak;
+
+    while (!cut.empty()) {
+      TM_ASSERT(next_peak > avail, "budget must strictly increase: "
+                                       << next_peak << " <= " << avail);
+      avail = next_peak;
+      ++result.iterations;
+      if (!warm_start) {
+        // Ablation mode: rebuild the whole exploration at the new budget.
+        order_.clear();
+        Outcome redo = explore(tree_.root(), avail);
+        cut = std::move(redo.cut);
+        cut_weight = redo.min_mem;
+        next_peak = redo.peak;
+      } else {
+        next_peak = improve(cut, cut_weight, avail);
+      }
+    }
+
+    result.peak = avail;
+    result.order = std::move(order_);
+    result.explore_calls = explore_calls_;
+    TM_ASSERT(result.order.size() == static_cast<std::size_t>(tree_.size()),
+              "MinMem traversal incomplete: " << result.order.size() << " of "
+                                              << tree_.size());
+    return result;
+  }
+
+  /// Single-probe entry point for explore_subtree().
+  Outcome explore_for_test(NodeId i, Weight budget, Traversal& order_out) {
+    Outcome out = explore(i, budget);
+    order_out = order_;
+    return out;
+  }
+
+  /// Explore(T, i, budget) from scratch (Algorithm 3 with Linit = empty).
+  Outcome explore(NodeId i, Weight budget) {
+    ++explore_calls_;
+    Outcome out;
+    if (tree_.mem_req(i) > budget) {
+      out.peak = tree_.mem_req(i);
+      return out;  // min_mem = infinite: i itself cannot be executed
+    }
+    // Execute i: its input and execution files are dropped, the children
+    // files materialize and form the initial cut (peaks unknown).
+    order_.push_back(i);
+    for (const NodeId c : tree_.children(i)) {
+      out.cut.push(CutEntry{kUnknownKey, c});
+    }
+    Weight cut_weight = tree_.child_file_sum(i);
+    out.peak = improve(out.cut, cut_weight, budget);
+    out.min_mem = cut_weight;
+    return out;
+  }
+
+ private:
+  /// The improvement loop of Algorithm 3 (lines 12–21), shared between
+  /// fresh explorations and the warm-started root cut. Pops candidates —
+  /// cut nodes whose effective budget reaches their memoized peak — probes
+  /// them, and splices in any subtree cut no larger than the node's own
+  /// input file. Returns the configuration peak
+  ///   min_j ( M_peak(j) + sum_{k in cut, k != j} f_k )
+  ///   = (min_j key_j) + cut_weight,
+  /// the least total budget under which this cut can be deepened.
+  Weight improve(CutHeap& cut, Weight& cut_weight, Weight budget) {
+    while (!cut.empty() && cut.top().key <= budget - cut_weight) {
+      const CutEntry entry = cut.pop();
+      const NodeId j = entry.node;
+      const Weight local_budget = budget - cut_weight + tree_.file_size(j);
+      const std::size_t order_mark = order_.size();
+      Outcome sub = explore(j, local_budget);
+      if (sub.min_mem <= tree_.file_size(j)) {
+        // Accept: replace j by its reachable cut (with its peaks); the
+        // executions already sit in order_.
+        cut_weight += sub.min_mem - tree_.file_size(j);
+        cut.splice(std::move(sub.cut));
+      } else {
+        // Reject: discard the probe's executions and keep j with its
+        // refreshed peak. The new key exceeds budget − cut_weight by
+        // construction, so j cannot pop again until an acceptance lowers
+        // cut_weight enough to requalify it.
+        order_.resize(order_mark);
+        cut.push(CutEntry{sub.peak - tree_.file_size(j), j});
+      }
+    }
+    return cut.empty() ? kInfiniteWeight : cut.top().key + cut_weight;
+  }
+
+  const Tree& tree_;
+  Traversal order_;
+  long long explore_calls_ = 0;
+};
+
+/// Explore's recursion depth equals the tree height. Up to this height the
+/// caller's default stack (8 MiB on Linux, ~200 B per frame) is ample;
+/// beyond it the work moves to a dedicated big-stack thread. The inline
+/// fast path matters: spawning a thread costs more than solving a typical
+/// amalgamated assembly tree outright.
+constexpr NodeId kInlineHeightLimit = 10000;
+
+NodeId tree_height(const Tree& tree) {
+  const auto depths = node_depths(tree);
+  return *std::max_element(depths.begin(), depths.end());
+}
+
+}  // namespace
+
+MinMemResult minmem_optimal(const Tree& tree, const MinMemOptions& options) {
+  MinMemResult result;
+  if (tree_height(tree) <= kInlineHeightLimit) {
+    MinMemSolver solver(tree);
+    return solver.solve(options.warm_start);
+  }
+  const std::size_t stack_bytes =
+      options.stack_bytes == 0 ? kBigStackBytes : options.stack_bytes;
+  run_with_stack(stack_bytes, [&]() {
+    MinMemSolver solver(tree);
+    result = solver.solve(options.warm_start);
+  });
+  return result;
+}
+
+ExploreResult explore_subtree(const Tree& tree, NodeId start, Weight budget) {
+  TM_CHECK(start >= 0 && start < tree.size(),
+           "explore_subtree: bad start node " << start);
+  ExploreResult result;
+  auto body = [&]() {
+    MinMemSolver solver(tree);
+    auto out = solver.explore_for_test(start, budget, result.order);
+    result.min_mem = out.min_mem;
+    result.peak = out.peak;
+    result.cut.reserve(out.cut.size());
+    for (const auto& entry : out.cut.entries()) {
+      result.cut.push_back(entry.node);
+    }
+  };
+  if (tree_height(tree) <= kInlineHeightLimit) {
+    body();
+  } else {
+    run_with_stack(kBigStackBytes, body);
+  }
+  return result;
+}
+
+}  // namespace treemem

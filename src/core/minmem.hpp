@@ -1,0 +1,59 @@
+// The paper's new exact MinMemory algorithm: MinMem (Algorithm 4) built on
+// the Explore tree-exploration routine (Algorithm 3).
+//
+// Explore(i, M_avail) systematically descends the subtree of i with a fixed
+// memory budget, greedily replacing a cut node j by the cut of its own
+// subtree whenever that subtree can be reduced to a memory footprint of at
+// most f_j. It returns
+//   * the minimal-footprint reachable cut and a traversal reaching it, and
+//   * the "peak": the least budget that would allow visiting one more node.
+// MinMem starts from the trivial lower bound max_i MemReq(i) and repeatedly
+// raises the budget to the reported peak, warm-starting from the saved cut,
+// until the whole tree has been processed. The final budget is the optimal
+// memory, and the accumulated traversal attains it.
+//
+// Worst-case complexity O(p²) like Liu's exact algorithm, but much faster
+// on assembly trees in practice (Fig. 6 of the paper; reproduced by
+// bench/fig6_runtime_profiles).
+#pragma once
+
+#include "core/traversal.hpp"
+#include "tree/tree.hpp"
+
+namespace treemem {
+
+/// Result of MinMem, with instrumentation counters for the runtime study.
+struct MinMemResult {
+  Weight peak = 0;       ///< optimal in-core memory (MinMemory value)
+  Traversal order;       ///< traversal attaining the optimum (out-tree order)
+  int iterations = 0;    ///< budget-raising rounds of Algorithm 4
+  long long explore_calls = 0;  ///< total Explore invocations
+};
+
+/// Options for ablation studies.
+struct MinMemOptions {
+  /// Keep the root cut/traversal between budget-raising rounds (the paper's
+  /// Linit/Trinit warm start). Disabling re-explores from scratch each round.
+  bool warm_start = true;
+  /// Stack size for the exploration (recursion depth = tree height).
+  std::size_t stack_bytes = 0;  ///< 0 = library default (512 MiB reserved)
+};
+
+/// Computes the optimal in-core memory and a traversal attaining it.
+MinMemResult minmem_optimal(const Tree& tree, const MinMemOptions& options = {});
+
+/// Result of one Explore probe (exposed for tests and for the MinIO
+/// experiments that need reachable cuts).
+struct ExploreResult {
+  Weight min_mem = 0;          ///< footprint of the best reachable cut
+  Weight peak = 0;             ///< least budget that visits one more node
+  std::vector<NodeId> cut;     ///< the cut itself (input files resident)
+  Traversal order;             ///< traversal from `start` to the cut
+};
+
+/// Runs a single Explore(start, budget) from scratch. If the node itself
+/// cannot be executed within `budget`, min_mem is kInfiniteWeight and peak
+/// is MemReq(start).
+ExploreResult explore_subtree(const Tree& tree, NodeId start, Weight budget);
+
+}  // namespace treemem

@@ -1,0 +1,39 @@
+#include "core/pebble.hpp"
+
+#include <algorithm>
+#include <vector>
+
+namespace treemem {
+
+Weight sethi_ullman_number(const Tree& tree) {
+  std::vector<Weight> reg(static_cast<std::size_t>(tree.size()), 0);
+  const auto& order = tree.top_down_order();
+  std::vector<Weight> kids;
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    const NodeId u = *it;
+    if (tree.is_leaf(u)) {
+      reg[static_cast<std::size_t>(u)] = 1;
+      continue;
+    }
+    kids.clear();
+    for (const NodeId c : tree.children(u)) {
+      kids.push_back(reg[static_cast<std::size_t>(c)]);
+    }
+    std::sort(kids.begin(), kids.end(), std::greater<>());
+    Weight best = 0;
+    for (std::size_t i = 0; i < kids.size(); ++i) {
+      best = std::max(best, kids[i] + static_cast<Weight>(i));
+    }
+    reg[static_cast<std::size_t>(u)] = best;
+  }
+  return reg[static_cast<std::size_t>(tree.root())];
+}
+
+Tree make_unit_tree(const Tree& tree) {
+  std::vector<NodeId> parent = tree.parents();
+  std::vector<Weight> file(parent.size(), 1);
+  std::vector<Weight> work(parent.size(), 0);
+  return Tree(std::move(parent), std::move(file), std::move(work));
+}
+
+}  // namespace treemem

@@ -1,0 +1,24 @@
+// Classical pebble-game specializations (Section II-B background).
+//
+// With unit input files and zero execution files the MinMemory problem in
+// the *replacement* model collapses to Sethi–Ullman register allocation:
+// the optimal pebble count of an expression tree. These helpers exist to
+// connect the library to that classical theory, and the test suite checks
+// that liu_optimal(replacement_transform(unit tree)) equals the
+// Sethi–Ullman number computed independently here.
+#pragma once
+
+#include "tree/tree.hpp"
+
+namespace treemem {
+
+/// The Sethi–Ullman register number of the tree *structure* (weights are
+/// ignored): reg(leaf) = 1 and, with children register numbers sorted in
+/// non-increasing order r_0 >= r_1 >= ..., reg(x) = max_i (r_i + i).
+Weight sethi_ullman_number(const Tree& tree);
+
+/// Copy of the structure of `tree` with f_i = 1 and n_i = 0 — the classical
+/// unit-cost pebble instance.
+Tree make_unit_tree(const Tree& tree);
+
+}  // namespace treemem

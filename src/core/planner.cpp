@@ -1,0 +1,84 @@
+#include "core/planner.hpp"
+
+#include <algorithm>
+
+#include "core/liu.hpp"
+#include "core/minio.hpp"
+#include "core/minmem.hpp"
+#include "core/postorder.hpp"
+
+namespace treemem {
+
+ExecutionPlan plan_execution(const Tree& tree, Weight memory_budget,
+                             const PlannerOptions& options) {
+  ExecutionPlan plan;
+
+  const TraversalResult postorder = best_postorder(tree);
+  const MinMemResult optimal = minmem_optimal(tree);
+  plan.in_core_optimum = optimal.peak;
+
+  // Regime 1: the best postorder fits — maximal locality, zero I/O.
+  if (memory_budget >= postorder.peak) {
+    plan.feasible = true;
+    plan.strategy = "postorder/in-core";
+    plan.schedule.order = postorder.order;
+    plan.peak = postorder.peak;
+    return plan;
+  }
+
+  // Regime 2: only an optimal traversal fits.
+  if (memory_budget >= optimal.peak) {
+    plan.feasible = true;
+    plan.strategy = "minmem/in-core";
+    plan.schedule.order = optimal.order;
+    plan.peak = optimal.peak;
+    return plan;
+  }
+
+  // Regime 3: genuine out-of-core execution. Candidate traversals: the
+  // postorder and Liu's optimal order (both build long dependence chains,
+  // which Fig. 8 shows is what keeps I/O low); candidate policies per
+  // Fig. 7.
+  const Weight floor = std::max(tree.max_mem_req(), tree.file_size(tree.root()));
+  if (memory_budget < floor) {
+    plan.strategy = "infeasible: budget below max MemReq";
+    plan.in_core_optimum = optimal.peak;
+    return plan;
+  }
+
+  const TraversalResult liu = liu_optimal(tree);
+  struct Candidate {
+    const char* traversal_name;
+    const Traversal* order;
+  };
+  const Candidate traversals[] = {{"postorder", &postorder.order},
+                                  {"liu", &liu.order}};
+  std::vector<EvictionPolicy> policies{EvictionPolicy::kFirstFit};
+  if (options.try_best_k) {
+    policies.push_back(EvictionPolicy::kBestKCombination);
+  }
+  if (options.try_lsnf) {
+    policies.push_back(EvictionPolicy::kLsnf);
+  }
+
+  Weight best_io = kInfiniteWeight;
+  for (const Candidate& candidate : traversals) {
+    for (const EvictionPolicy policy : policies) {
+      const MinIoResult result =
+          minio_heuristic(tree, *candidate.order, memory_budget, policy);
+      TM_ASSERT(result.feasible, "budget above the floor must be feasible");
+      if (result.io_volume < best_io) {
+        best_io = result.io_volume;
+        plan.schedule = result.schedule;
+        plan.strategy = std::string(candidate.traversal_name) + "+" +
+                        to_string(policy) + "/out-of-core";
+      }
+    }
+  }
+  plan.feasible = true;
+  plan.io_volume = best_io;
+  plan.peak = memory_budget;
+  return plan;
+}
+
+}  // namespace treemem

@@ -1,0 +1,116 @@
+#include "core/postorder.hpp"
+
+#include <algorithm>
+
+namespace treemem {
+
+namespace {
+
+/// Computes per-node subtree peaks P_i and, if `child_order` is non-null,
+/// the optimal processing order of each node's children (a CSR-like layout
+/// aligned with Tree's child lists).
+std::vector<Weight> subtree_peaks(const Tree& tree,
+                                  std::vector<NodeId>* child_order) {
+  const auto p = static_cast<std::size_t>(tree.size());
+  std::vector<Weight> peak(p, 0);
+  if (child_order != nullptr) {
+    child_order->assign(p == 0 ? 0 : p - 1, kNoNode);
+  }
+
+  // scratch: children of the current node sorted by increasing P - f.
+  std::vector<NodeId> sorted;
+  const auto& order = tree.top_down_order();
+  std::int64_t csr_end = static_cast<std::int64_t>(p) - 1;
+
+  // Bottom-up sweep. To key the CSR slots for child_order we mirror the
+  // Tree's own child layout: children(u) occupy a contiguous slice whose
+  // offset we recover by walking the top-down order backwards and assigning
+  // slices from the back — instead we simply reuse the child span indices.
+  (void)csr_end;
+  std::vector<std::int64_t> child_offset(p + 1, 0);
+  {
+    std::int64_t running = 0;
+    for (std::size_t u = 0; u < p; ++u) {
+      child_offset[u] = running;
+      running += tree.num_children(static_cast<NodeId>(u));
+    }
+    child_offset[p] = running;
+  }
+
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    const NodeId u = *it;
+    const auto kids = tree.children(u);
+    // A subtree's slot starts with its own input file resident, so the slot
+    // maximum is at least f_u even when a negative n_u makes MemReq small.
+    const Weight floor = std::max(tree.file_size(u), tree.mem_req(u));
+    if (kids.empty()) {
+      peak[static_cast<std::size_t>(u)] = floor;
+      continue;
+    }
+    sorted.assign(kids.begin(), kids.end());
+    std::stable_sort(sorted.begin(), sorted.end(),
+                     [&](NodeId a, NodeId b) {
+                       return peak[static_cast<std::size_t>(a)] - tree.file_size(a) <
+                              peak[static_cast<std::size_t>(b)] - tree.file_size(b);
+                     });
+    // Peak of the sorted schedule: child t runs while the files of children
+    // u > t are still resident.
+    Weight suffix = 0;
+    Weight best = floor;
+    for (std::size_t t = sorted.size(); t-- > 0;) {
+      const NodeId c = sorted[t];
+      best = std::max(best, peak[static_cast<std::size_t>(c)] + suffix);
+      suffix += tree.file_size(c);
+    }
+    peak[static_cast<std::size_t>(u)] = best;
+    if (child_order != nullptr) {
+      const std::int64_t off = child_offset[static_cast<std::size_t>(u)];
+      for (std::size_t t = 0; t < sorted.size(); ++t) {
+        (*child_order)[static_cast<std::size_t>(off) + t] = sorted[t];
+      }
+    }
+  }
+  return peak;
+}
+
+}  // namespace
+
+Weight best_postorder_peak(const Tree& tree) {
+  return subtree_peaks(tree, nullptr)[static_cast<std::size_t>(tree.root())];
+}
+
+TraversalResult best_postorder(const Tree& tree) {
+  std::vector<NodeId> child_order;
+  const auto peaks = subtree_peaks(tree, &child_order);
+
+  std::vector<std::int64_t> child_offset(static_cast<std::size_t>(tree.size()) + 1, 0);
+  {
+    std::int64_t running = 0;
+    for (NodeId u = 0; u < tree.size(); ++u) {
+      child_offset[static_cast<std::size_t>(u)] = running;
+      running += tree.num_children(u);
+    }
+    child_offset[static_cast<std::size_t>(tree.size())] = running;
+  }
+
+  TraversalResult result;
+  result.peak = peaks[static_cast<std::size_t>(tree.root())];
+  result.order.reserve(static_cast<std::size_t>(tree.size()));
+
+  // Depth-first emission with the children of each node pushed in reverse
+  // optimal order, so the first child's subtree is processed contiguously.
+  std::vector<NodeId> stack{tree.root()};
+  while (!stack.empty()) {
+    const NodeId u = stack.back();
+    stack.pop_back();
+    result.order.push_back(u);
+    const std::int64_t off = child_offset[static_cast<std::size_t>(u)];
+    const NodeId k = tree.num_children(u);
+    for (NodeId t = k; t-- > 0;) {
+      stack.push_back(child_order[static_cast<std::size_t>(off + t)]);
+    }
+  }
+  return result;
+}
+
+}  // namespace treemem

@@ -1,0 +1,30 @@
+// Liu (1986)'s best postorder traversal — the `PostOrder` algorithm of the
+// paper (Section IV-A).
+//
+// A postorder traversal of the out-tree executes a node and then processes
+// each child subtree to completion before starting the next one. For node i
+// with children c_1..c_k processed in that order, the subtree peak is
+//   P_i = max( MemReq(i), max_t ( P_{c_t} + sum_{u>t} f_{c_u} ) )
+// because the input files of the not-yet-processed siblings stay resident.
+// An adjacent-exchange argument shows the order minimizing P_i processes
+// children by *increasing* P_c − f_c (the dual of Liu's decreasing rule for
+// bottom-up in-trees). Total cost O(p log p).
+//
+// The best postorder is what production multifrontal codes (e.g. MUMPS)
+// use; Theorem 1 of the paper shows it can be arbitrarily worse than the
+// optimum, and the Fig. 5 / Fig. 9 experiments quantify the gap.
+#pragma once
+
+#include "core/traversal.hpp"
+#include "tree/tree.hpp"
+
+namespace treemem {
+
+/// Computes the best postorder traversal and its exact memory peak.
+TraversalResult best_postorder(const Tree& tree);
+
+/// Peak of the best postorder only (identical value, skips materializing
+/// the order — used by tight benchmarking loops).
+Weight best_postorder_peak(const Tree& tree);
+
+}  // namespace treemem

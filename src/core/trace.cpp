@@ -1,0 +1,103 @@
+#include "core/trace.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "core/check.hpp"
+#include "support/ascii_plot.hpp"
+
+namespace treemem {
+
+ExecutionTrace trace_execution(const Tree& tree, const Traversal& order) {
+  IoSchedule schedule;
+  schedule.order = order;
+  return trace_execution(tree, schedule);
+}
+
+ExecutionTrace trace_execution(const Tree& tree, const IoSchedule& schedule) {
+  const auto p = static_cast<std::size_t>(tree.size());
+  const auto& order = schedule.order;
+
+  // Validate once with the reference checker (large budget: traces are
+  // about recording, not enforcing, a budget).
+  {
+    const CheckResult check =
+        check_out_of_core(tree, schedule, kInfiniteWeight / 2);
+    TM_CHECK(check.feasible, "trace_execution: invalid schedule: " << check.reason);
+  }
+
+  std::vector<std::vector<NodeId>> writes_at(p);
+  for (const IoWrite& w : schedule.writes) {
+    writes_at[static_cast<std::size_t>(w.step)].push_back(w.node);
+  }
+
+  ExecutionTrace trace;
+  trace.steps.reserve(p);
+  std::vector<char> evicted(p, 0);
+  Weight resident = tree.file_size(tree.root());
+  trace.peak = resident;
+
+  for (std::size_t t = 0; t < p; ++t) {
+    TraceStep step;
+    step.node = order[t];
+    for (const NodeId w : writes_at[t]) {
+      const Weight size = tree.file_size(w);
+      evicted[static_cast<std::size_t>(w)] = 1;
+      resident -= size;
+      step.written += size;
+      trace.io_volume += size;
+    }
+    if (evicted[static_cast<std::size_t>(step.node)]) {
+      step.read_back = tree.file_size(step.node);
+      resident += step.read_back;
+      evicted[static_cast<std::size_t>(step.node)] = 0;
+    }
+    step.resident_before = resident;
+    step.transient = resident + tree.work_size(step.node) +
+                     tree.child_file_sum(step.node);
+    resident += tree.child_file_sum(step.node) - tree.file_size(step.node);
+    step.resident_after = resident;
+    trace.peak = std::max(trace.peak, step.transient);
+    trace.steps.push_back(step);
+  }
+  TM_ASSERT(resident == 0, "trace must drain to zero, got " << resident);
+  return trace;
+}
+
+std::string render_memory_profile(const ExecutionTrace& trace, int width,
+                                  int height) {
+  PlotSeries transient;
+  transient.label = "transient memory";
+  PlotSeries resident;
+  resident.label = "resident files";
+  for (std::size_t t = 0; t < trace.steps.size(); ++t) {
+    transient.x.push_back(static_cast<double>(t));
+    transient.y.push_back(static_cast<double>(trace.steps[t].transient));
+    resident.x.push_back(static_cast<double>(t));
+    resident.y.push_back(static_cast<double>(trace.steps[t].resident_after));
+  }
+  PlotOptions options;
+  options.width = width;
+  options.height = height;
+  options.x_label = "step";
+  options.y_label = "memory";
+  std::ostringstream oss;
+  oss << render_ascii_plot({transient, resident}, options);
+  const auto peak_step = std::max_element(
+      trace.steps.begin(), trace.steps.end(),
+      [](const TraceStep& a, const TraceStep& b) {
+        return a.transient < b.transient;
+      });
+  if (peak_step != trace.steps.end()) {
+    oss << "  peak " << trace.peak << " at step "
+        << (peak_step - trace.steps.begin()) << " (node " << peak_step->node
+        << ")";
+    if (trace.io_volume > 0) {
+      oss << ", I/O volume " << trace.io_volume;
+    }
+    oss << "\n";
+  }
+  return oss.str();
+}
+
+}  // namespace treemem

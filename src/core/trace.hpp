@@ -1,0 +1,42 @@
+// Execution traces: the step-by-step memory timeline of a traversal,
+// optionally with its I/O schedule. Where check.hpp answers "is it
+// feasible and what is the peak", this module records *why* — which step
+// holds what — for tooling, debugging and the examples' memory plots.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/traversal.hpp"
+#include "tree/tree.hpp"
+
+namespace treemem {
+
+struct TraceStep {
+  NodeId node = kNoNode;       ///< task executed at this step
+  Weight resident_before = 0;  ///< input files held just before execution
+  Weight transient = 0;        ///< memory while the task runs
+  Weight resident_after = 0;   ///< files held after execution
+  Weight written = 0;          ///< volume evicted just before this step
+  Weight read_back = 0;        ///< volume reloaded for this step (f of node)
+};
+
+struct ExecutionTrace {
+  std::vector<TraceStep> steps;
+  Weight peak = 0;       ///< max transient (== traversal_peak when no I/O)
+  Weight io_volume = 0;  ///< total written volume
+};
+
+/// Traces an in-core traversal (out-tree order).
+ExecutionTrace trace_execution(const Tree& tree, const Traversal& order);
+
+/// Traces an out-of-core schedule; resident quantities account for the
+/// evicted files (a written file stops counting until its read-back).
+ExecutionTrace trace_execution(const Tree& tree, const IoSchedule& schedule);
+
+/// ASCII memory-over-time profile (transient per step), with the peak step
+/// marked — the classic multifrontal "memory mountain" picture.
+std::string render_memory_profile(const ExecutionTrace& trace, int width = 72,
+                                  int height = 16);
+
+}  // namespace treemem

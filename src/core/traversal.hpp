@@ -1,0 +1,56 @@
+// Traversal types shared by all algorithms of the paper.
+#pragma once
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "tree/tree.hpp"
+
+namespace treemem {
+
+/// An execution order σ: order[t] is the node executed at step t.
+/// Out-tree semantics: the root comes first and every node appears after its
+/// parent. (For in-tree / multifrontal bottom-up semantics, use the reverse;
+/// see core/variants.hpp.)
+using Traversal = std::vector<NodeId>;
+
+/// Result of a MinMemory algorithm: the traversal and its memory peak
+/// (the smallest M for which Algorithm 1 accepts `order`).
+struct TraversalResult {
+  Weight peak = 0;
+  Traversal order;
+};
+
+/// One secondary-memory write: just before executing step `step`, the input
+/// file of `node` is written out (τ(node) = step in the paper's notation).
+/// The file is read back right before `node` itself executes.
+struct IoWrite {
+  NodeId step = 0;
+  NodeId node = kNoNode;
+};
+
+/// A full out-of-core schedule: execution order plus write events.
+struct IoSchedule {
+  Traversal order;
+  std::vector<IoWrite> writes;
+
+  /// Total volume written to secondary memory (the paper's IO objective;
+  /// the same volume is read back, so total traffic is twice this).
+  Weight io_volume(const Tree& tree) const {
+    Weight total = 0;
+    for (const IoWrite& w : writes) {
+      total += tree.file_size(w.node);
+    }
+    return total;
+  }
+};
+
+/// σ reversed — converts between out-tree (top-down) and in-tree
+/// (bottom-up) readings of the same schedule (Section III-C of the paper).
+inline Traversal reverse_traversal(Traversal order) {
+  std::reverse(order.begin(), order.end());
+  return order;
+}
+
+}  // namespace treemem

@@ -1,0 +1,107 @@
+#include "core/variants.hpp"
+
+#include <algorithm>
+
+namespace treemem {
+
+Tree replacement_transform(const Tree& tree) {
+  std::vector<NodeId> parent = tree.parents();
+  std::vector<Weight> file = tree.files();
+  std::vector<Weight> work(parent.size(), 0);
+  for (NodeId u = 0; u < tree.size(); ++u) {
+    work[static_cast<std::size_t>(u)] =
+        -std::min(tree.file_size(u), tree.child_file_sum(u));
+  }
+  return Tree(std::move(parent), std::move(file), std::move(work));
+}
+
+Weight replacement_model_peak(const Tree& tree, const Traversal& order) {
+  // Structural validation mirrors traversal_peak.
+  const auto p = static_cast<std::size_t>(tree.size());
+  TM_CHECK(order.size() == p, "replacement peak: traversal size mismatch");
+  std::vector<NodeId> pos(p, kNoNode);
+  for (std::size_t t = 0; t < p; ++t) {
+    const NodeId u = order[t];
+    TM_CHECK(u >= 0 && static_cast<std::size_t>(u) < p &&
+                 pos[static_cast<std::size_t>(u)] == kNoNode,
+             "replacement peak: invalid traversal");
+    pos[static_cast<std::size_t>(u)] = static_cast<NodeId>(t);
+  }
+  for (NodeId u = 0; u < tree.size(); ++u) {
+    if (tree.parent(u) != kNoNode) {
+      TM_CHECK(pos[static_cast<std::size_t>(tree.parent(u))] <
+                   pos[static_cast<std::size_t>(u)],
+               "replacement peak: precedence violated at " << u);
+    }
+  }
+
+  Weight resident = tree.file_size(tree.root());
+  Weight peak = resident;
+  for (const NodeId u : order) {
+    const Weight transient =
+        resident - tree.file_size(u) +
+        std::max(tree.file_size(u), tree.child_file_sum(u));
+    peak = std::max(peak, transient);
+    resident += tree.child_file_sum(u) - tree.file_size(u);
+  }
+  return peak;
+}
+
+Tree from_liu_model(const LiuModelInstance& instance) {
+  const std::size_t p = instance.parent.size();
+  TM_CHECK(instance.n_plus.size() == p && instance.n_minus.size() == p,
+           "Liu model: array sizes disagree");
+  std::vector<Weight> child_storage(p, 0);
+  for (std::size_t u = 0; u < p; ++u) {
+    TM_CHECK(instance.n_minus[u] >= 0,
+             "Liu model: n_minus must be non-negative at node " << u);
+    const NodeId par = instance.parent[u];
+    if (par != kNoNode) {
+      child_storage[static_cast<std::size_t>(par)] += instance.n_minus[u];
+    }
+  }
+  std::vector<Weight> file(p);
+  std::vector<Weight> work(p);
+  for (std::size_t u = 0; u < p; ++u) {
+    TM_CHECK(instance.n_plus[u] >= child_storage[u],
+             "Liu model: n_plus(" << u << ")=" << instance.n_plus[u]
+                                  << " below its children's storage "
+                                  << child_storage[u]);
+    file[u] = instance.n_minus[u];
+    work[u] = instance.n_plus[u] - instance.n_minus[u] - child_storage[u];
+  }
+  std::vector<NodeId> parent = instance.parent;
+  return Tree(std::move(parent), std::move(file), std::move(work));
+}
+
+Weight liu_model_peak(const LiuModelInstance& instance,
+                      const Traversal& order) {
+  const std::size_t p = instance.parent.size();
+  TM_CHECK(order.size() == p, "Liu model peak: traversal size mismatch");
+  std::vector<char> done(p, 0);
+  std::vector<Weight> child_storage(p, 0);
+  for (std::size_t u = 0; u < p; ++u) {
+    const NodeId par = instance.parent[u];
+    if (par != kNoNode) {
+      child_storage[static_cast<std::size_t>(par)] += instance.n_minus[u];
+    }
+  }
+
+  Weight resident = 0;  // storage of completed, unconsumed subtrees
+  Weight peak = 0;
+  for (const NodeId x : order) {
+    TM_CHECK(x >= 0 && static_cast<std::size_t>(x) < p && !done[static_cast<std::size_t>(x)],
+             "Liu model peak: invalid order");
+    // All children must be complete (bottom-up order).
+    const Weight transient = resident - child_storage[static_cast<std::size_t>(x)] +
+                             instance.n_plus[static_cast<std::size_t>(x)];
+    peak = std::max(peak, transient);
+    resident += instance.n_minus[static_cast<std::size_t>(x)] -
+                child_storage[static_cast<std::size_t>(x)];
+    done[static_cast<std::size_t>(x)] = 1;
+  }
+  peak = std::max(peak, resident);
+  return peak;
+}
+
+}  // namespace treemem

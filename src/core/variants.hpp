@@ -1,0 +1,50 @@
+// Model variants of Section III-C, with both directions of each reduction:
+// a transform producing an equivalent instance of the base model, and a
+// direct simulator of the variant model so the equivalence itself is
+// testable rather than assumed.
+#pragma once
+
+#include "core/traversal.hpp"
+#include "tree/tree.hpp"
+
+namespace treemem {
+
+// ---------------------------------------------------------------------------
+// Pebble game "with replacement" (Fig. 1): executing i needs
+// max(f_i, sum of children files) — the input pebbles are reused for the
+// outputs. Simulated in the base model by n_i = −min(f_i, Σ_c f_c).
+// ---------------------------------------------------------------------------
+
+/// Builds the base-model instance equivalent to the replacement-model
+/// reading of `tree`'s files (the original n_i are ignored, as the
+/// replacement game has no execution files).
+Tree replacement_transform(const Tree& tree);
+
+/// Peak of a traversal under the replacement model directly:
+/// transient(i) = resident − f_i + max(f_i, Σ_c f_c).
+Weight replacement_model_peak(const Tree& tree, const Traversal& order);
+
+// ---------------------------------------------------------------------------
+// Liu's (x⁺, x⁻) model (Fig. 2): node x has a processing cost n⁺_x (peak
+// number of L-nonzeros alive while eliminating column x) and a storage cost
+// n⁻_x (nonzeros of the subtree still needed afterwards). Mapped onto the
+// base model by f_x = n⁻_x and n_x = n⁺_x − n⁻_x − Σ_{c} n⁻_c.
+// ---------------------------------------------------------------------------
+
+struct LiuModelInstance {
+  std::vector<NodeId> parent;   ///< tree structure (kNoNode for the root)
+  std::vector<Weight> n_plus;   ///< processing peaks
+  std::vector<Weight> n_minus;  ///< subtree storage after processing
+};
+
+/// Builds the equivalent base-model tree. Requires, for every node,
+/// n⁺_x ≥ Σ_{children} n⁻_c (the processing peak includes the children
+/// subtrees' storage), which real factorizations satisfy.
+Tree from_liu_model(const LiuModelInstance& instance);
+
+/// Peak of a *bottom-up* order under Liu's model directly: executing x
+/// costs (Σ storage of completed subtrees other than x's children) + n⁺_x,
+/// and leaves n⁻_x stored.
+Weight liu_model_peak(const LiuModelInstance& instance, const Traversal& order);
+
+}  // namespace treemem

@@ -1,0 +1,17 @@
+#include "multifrontal/disk_model.hpp"
+
+namespace treemem {
+
+double io_time_s(const Tree& tree, const IoSchedule& schedule,
+                 const DiskModel& model) {
+  TM_CHECK(model.latency_s >= 0.0 && model.bandwidth_entries_s > 0.0,
+           "disk model: bad parameters");
+  double total = 0.0;
+  for (const IoWrite& w : schedule.writes) {
+    const Weight entries = tree.file_size(w.node);
+    total += 2.0 * model.transfer_s(entries);  // one write + one read back
+  }
+  return total;
+}
+
+}  // namespace treemem

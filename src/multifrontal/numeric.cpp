@@ -1,0 +1,369 @@
+#include "multifrontal/numeric.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/prng.hpp"
+#include "symbolic/symbolic.hpp"
+
+namespace treemem {
+
+SymmetricMatrix::SymmetricMatrix(SparsePattern pattern,
+                                 std::vector<double> values)
+    : pattern_(std::move(pattern)), values_(std::move(values)) {
+  TM_CHECK(pattern_.is_square(), "SymmetricMatrix: pattern must be square");
+  TM_CHECK(values_.size() == static_cast<std::size_t>(pattern_.nnz()),
+           "SymmetricMatrix: " << values_.size() << " values for "
+                               << pattern_.nnz() << " entries");
+  TM_CHECK(pattern_.is_symmetric(), "SymmetricMatrix: pattern not symmetric");
+  for (Index j = 0; j < pattern_.cols(); ++j) {
+    for (const Index r : pattern_.column(j)) {
+      TM_CHECK(value_of(r, j) == value_of(j, r),
+               "SymmetricMatrix: asymmetric values at (" << r << "," << j << ")");
+    }
+  }
+}
+
+double SymmetricMatrix::value_of(Index row, Index col) const {
+  const auto c = pattern_.column(col);
+  const auto it = std::lower_bound(c.begin(), c.end(), row);
+  if (it == c.end() || *it != row) {
+    return 0.0;
+  }
+  const std::size_t offset =
+      static_cast<std::size_t>(pattern_.col_ptr()[static_cast<std::size_t>(col)]) +
+      static_cast<std::size_t>(it - c.begin());
+  return values_[offset];
+}
+
+SymmetricMatrix SymmetricMatrix::permuted(const std::vector<Index>& perm) const {
+  const SparsePattern permuted_pattern = permute_symmetric(pattern_, perm);
+  std::vector<double> permuted_values(
+      static_cast<std::size_t>(permuted_pattern.nnz()));
+  std::size_t offset = 0;
+  for (Index j = 0; j < permuted_pattern.cols(); ++j) {
+    for (const Index r : permuted_pattern.column(j)) {
+      permuted_values[offset++] = value_of(perm[static_cast<std::size_t>(r)],
+                                           perm[static_cast<std::size_t>(j)]);
+    }
+  }
+  return SymmetricMatrix(permuted_pattern, std::move(permuted_values));
+}
+
+SymmetricMatrix make_spd_matrix(const SparsePattern& pattern,
+                                std::uint64_t seed) {
+  TM_CHECK(pattern.is_symmetric() && pattern.has_full_diagonal(),
+           "make_spd_matrix: need a symmetric pattern with full diagonal");
+  const Index n = pattern.cols();
+
+  // Deterministic symmetric off-diagonal values: a hash of the unordered
+  // index pair, mapped to [-1, -1/4] ∪ [1/4, 1].
+  auto pair_value = [&](Index a, Index b) {
+    const std::uint64_t lo = static_cast<std::uint64_t>(std::min(a, b));
+    const std::uint64_t hi = static_cast<std::uint64_t>(std::max(a, b));
+    Prng prng(seed ^ (lo * 0x9e3779b97f4a7c15ULL + hi + 0x1234567ULL));
+    const double magnitude = 0.25 + 0.75 * prng.uniform_real();
+    return prng.bernoulli(0.5) ? magnitude : -magnitude;
+  };
+
+  // Row sums of absolute off-diagonals for the dominant diagonal.
+  std::vector<double> row_abs(static_cast<std::size_t>(n), 0.0);
+  for (Index j = 0; j < n; ++j) {
+    for (const Index r : pattern.column(j)) {
+      if (r != j) {
+        row_abs[static_cast<std::size_t>(r)] += std::abs(pair_value(r, j));
+      }
+    }
+  }
+
+  std::vector<double> values(static_cast<std::size_t>(pattern.nnz()));
+  std::size_t offset = 0;
+  for (Index j = 0; j < n; ++j) {
+    for (const Index r : pattern.column(j)) {
+      values[offset++] = (r == j) ? 1.0 + row_abs[static_cast<std::size_t>(r)]
+                                  : pair_value(r, j);
+    }
+  }
+  return SymmetricMatrix(pattern, std::move(values));
+}
+
+double CholeskyFactor::value_of(Index row, Index col) const {
+  const auto c = pattern.column(col);
+  const auto it = std::lower_bound(c.begin(), c.end(), row);
+  if (it == c.end() || *it != row) {
+    return 0.0;
+  }
+  const std::size_t offset =
+      static_cast<std::size_t>(pattern.col_ptr()[static_cast<std::size_t>(col)]) +
+      static_cast<std::size_t>(it - c.begin());
+  return values[offset];
+}
+
+namespace {
+
+/// Live contribution block of a completed supernode (full-square storage,
+/// the paper's accounting convention).
+struct ContributionBlock {
+  std::vector<Index> rows;     ///< global row indices, ascending
+  std::vector<double> values;  ///< dense |rows| x |rows|, column-major
+};
+
+}  // namespace
+
+MultifrontalResult multifrontal_cholesky(const SymmetricMatrix& matrix,
+                                         const AssemblyTree& assembly,
+                                         const Traversal& bottom_up_order) {
+  const Index n = matrix.size();
+  const Tree& tree = assembly.tree;
+  TM_CHECK(assembly.columns == n,
+           "assembly tree built for " << assembly.columns
+                                      << " columns, matrix has " << n);
+  TM_CHECK(bottom_up_order.size() == static_cast<std::size_t>(tree.size()),
+           "traversal size mismatch");
+
+  // Validate the in-tree order: children before parents.
+  {
+    std::vector<NodeId> pos(static_cast<std::size_t>(tree.size()), kNoNode);
+    for (std::size_t t = 0; t < bottom_up_order.size(); ++t) {
+      const NodeId u = bottom_up_order[t];
+      TM_CHECK(u >= 0 && u < tree.size() && pos[static_cast<std::size_t>(u)] == kNoNode,
+               "invalid traversal entry at step " << t);
+      pos[static_cast<std::size_t>(u)] = static_cast<NodeId>(t);
+    }
+    for (NodeId u = 0; u < tree.size(); ++u) {
+      if (tree.parent(u) != kNoNode) {
+        TM_CHECK(pos[static_cast<std::size_t>(u)] <
+                     pos[static_cast<std::size_t>(tree.parent(u))],
+                 "traversal is not bottom-up at node " << u);
+      }
+    }
+  }
+
+  // Member columns per supernode, ascending.
+  std::vector<std::vector<Index>> members(static_cast<std::size_t>(tree.size()));
+  for (Index j = 0; j < n; ++j) {
+    members[static_cast<std::size_t>(
+                assembly.supernode_of[static_cast<std::size_t>(j)])]
+        .push_back(j);
+  }
+  for (auto& m : members) {
+    std::sort(m.begin(), m.end());
+  }
+
+  // Exact factor structure (column-merge symbolic factorization).
+  const SparsePattern l_pattern = symbolic_cholesky(matrix.pattern());
+
+  MultifrontalResult result;
+  result.factor.pattern = l_pattern;
+  result.factor.values.assign(static_cast<std::size_t>(l_pattern.nnz()), 0.0);
+  result.live_after_step.reserve(bottom_up_order.size());
+
+  std::vector<ContributionBlock> blocks(static_cast<std::size_t>(tree.size()));
+  Weight live_entries = 0;
+
+  std::vector<Index> rows;        // front row set
+  std::vector<Index> front_pos(static_cast<std::size_t>(n), -1);
+  std::vector<double> front;      // dense front, column-major
+
+  for (const NodeId s : bottom_up_order) {
+    const auto& cols = members[static_cast<std::size_t>(s)];
+
+    // Front rows: union of the member columns' factor structures.
+    rows.clear();
+    for (const Index j : cols) {
+      const auto lc = l_pattern.column(j);
+      rows.insert(rows.end(), lc.begin(), lc.end());
+    }
+    std::sort(rows.begin(), rows.end());
+    rows.erase(std::unique(rows.begin(), rows.end()), rows.end());
+    const std::size_t m = rows.size();
+    const std::size_t eta = cols.size();
+    // Members are the eta smallest rows of the front (they are mutually
+    // reachable along the etree path inside the supernode; every other row
+    // is a strict ancestor of the top member).
+    for (std::size_t k = 0; k < eta; ++k) {
+      TM_ASSERT(rows[k] == cols[k],
+                "member columns are not the leading front rows at node " << s);
+    }
+    for (std::size_t k = 0; k < m; ++k) {
+      front_pos[static_cast<std::size_t>(rows[k])] = static_cast<Index>(k);
+    }
+
+    front.assign(m * m, 0.0);
+    auto at = [&](std::size_t r, std::size_t c) -> double& {
+      return front[c * m + r];
+    };
+
+    // Assemble the original entries of the member columns (lower part).
+    for (const Index j : cols) {
+      const std::size_t jc = static_cast<std::size_t>(
+          front_pos[static_cast<std::size_t>(j)]);
+      for (const Index r : matrix.pattern().column(j)) {
+        if (r >= j) {
+          TM_ASSERT(front_pos[static_cast<std::size_t>(r)] >= 0,
+                    "matrix entry outside the front at (" << r << "," << j << ")");
+          at(static_cast<std::size_t>(front_pos[static_cast<std::size_t>(r)]), jc) +=
+              matrix.value_of(r, j);
+        }
+      }
+    }
+
+    // Extend-add the children contribution blocks. The model's transient
+    // holds the children CBs and the fully allocated front simultaneously,
+    // so account for the peak before releasing them.
+    live_entries += static_cast<Weight>(m * m);
+    result.peak_live_entries = std::max(result.peak_live_entries, live_entries);
+    for (const NodeId c : tree.children(s)) {
+      ContributionBlock& cb = blocks[static_cast<std::size_t>(c)];
+      const std::size_t cm = cb.rows.size();
+      for (std::size_t cc = 0; cc < cm; ++cc) {
+        const Index gcol = cb.rows[cc];
+        TM_ASSERT(front_pos[static_cast<std::size_t>(gcol)] >= 0,
+                  "child CB column outside the parent front");
+        const std::size_t fc = static_cast<std::size_t>(
+            front_pos[static_cast<std::size_t>(gcol)]);
+        for (std::size_t cr = cc; cr < cm; ++cr) {
+          const Index grow = cb.rows[cr];
+          const std::size_t fr = static_cast<std::size_t>(
+              front_pos[static_cast<std::size_t>(grow)]);
+          at(fr, fc) += cb.values[cc * cm + cr];
+        }
+      }
+      live_entries -= static_cast<Weight>(cm * cm);
+      cb.rows.clear();
+      cb.rows.shrink_to_fit();
+      cb.values.clear();
+      cb.values.shrink_to_fit();
+    }
+
+    // Dense partial Cholesky of the leading eta pivots.
+    for (std::size_t k = 0; k < eta; ++k) {
+      const double pivot = at(k, k);
+      TM_CHECK(pivot > 0.0, "matrix is not positive definite at column "
+                                << cols[k] << " (pivot " << pivot << ")");
+      const double lkk = std::sqrt(pivot);
+      at(k, k) = lkk;
+      ++result.flops;
+      for (std::size_t r = k + 1; r < m; ++r) {
+        at(r, k) /= lkk;
+        ++result.flops;
+      }
+      for (std::size_t c = k + 1; c < m; ++c) {
+        const double lck = at(c, k);
+        if (lck == 0.0) {
+          continue;
+        }
+        for (std::size_t r = c; r < m; ++r) {
+          at(r, c) -= at(r, k) * lck;
+        }
+        result.flops += 2 * static_cast<long long>(m - c);
+      }
+    }
+
+    // Extract the factor columns of the members.
+    for (std::size_t k = 0; k < eta; ++k) {
+      const Index j = cols[k];
+      const auto lc = l_pattern.column(j);
+      const std::size_t base = static_cast<std::size_t>(
+          l_pattern.col_ptr()[static_cast<std::size_t>(j)]);
+      for (std::size_t i = 0; i < lc.size(); ++i) {
+        const std::size_t fr = static_cast<std::size_t>(
+            front_pos[static_cast<std::size_t>(lc[i])]);
+        result.factor.values[base + i] = at(fr, k);
+      }
+    }
+
+    // Store the contribution block (full square, the model's f_s entries).
+    ContributionBlock& own = blocks[static_cast<std::size_t>(s)];
+    const std::size_t cbm = m - eta;
+    own.rows.assign(rows.begin() + static_cast<std::ptrdiff_t>(eta), rows.end());
+    own.values.assign(cbm * cbm, 0.0);
+    for (std::size_t c = 0; c < cbm; ++c) {
+      for (std::size_t r = c; r < cbm; ++r) {
+        own.values[c * cbm + r] = at(eta + r, eta + c);
+      }
+    }
+    live_entries += static_cast<Weight>(cbm * cbm);
+    live_entries -= static_cast<Weight>(m * m);
+
+    for (const Index r : rows) {
+      front_pos[static_cast<std::size_t>(r)] = -1;
+    }
+    result.live_after_step.push_back(live_entries);
+  }
+
+  // Root contribution blocks are empty (mu = 1 for etree roots), so all
+  // live memory must have drained; anything left indicates a bug.
+  TM_ASSERT(live_entries == 0, "contribution blocks leaked: " << live_entries);
+  return result;
+}
+
+double relative_residual(const SymmetricMatrix& matrix,
+                         const CholeskyFactor& factor) {
+  const Index n = matrix.size();
+  TM_CHECK(n <= 2000, "relative_residual: dense check capped at n=2000");
+  // Dense A and L.
+  std::vector<double> a(static_cast<std::size_t>(n) * static_cast<std::size_t>(n), 0.0);
+  for (Index j = 0; j < n; ++j) {
+    for (const Index r : matrix.pattern().column(j)) {
+      a[static_cast<std::size_t>(j) * static_cast<std::size_t>(n) +
+        static_cast<std::size_t>(r)] = matrix.value_of(r, j);
+    }
+  }
+  double norm_a = 0.0;
+  for (const double v : a) {
+    norm_a += v * v;
+  }
+
+  // Subtract L Lᵀ column by column: (L Lᵀ)(i,j) = Σ_k L(i,k) L(j,k).
+  for (Index k = 0; k < n; ++k) {
+    const auto lc = factor.pattern.column(k);
+    const std::size_t base = static_cast<std::size_t>(
+        factor.pattern.col_ptr()[static_cast<std::size_t>(k)]);
+    for (std::size_t x = 0; x < lc.size(); ++x) {
+      for (std::size_t y = 0; y < lc.size(); ++y) {
+        a[static_cast<std::size_t>(lc[y]) * static_cast<std::size_t>(n) +
+          static_cast<std::size_t>(lc[x])] -=
+            factor.values[base + x] * factor.values[base + y];
+      }
+    }
+  }
+  double norm_r = 0.0;
+  for (const double v : a) {
+    norm_r += v * v;
+  }
+  return std::sqrt(norm_r) / std::sqrt(norm_a);
+}
+
+std::vector<double> solve_with_factor(const CholeskyFactor& factor,
+                                      std::vector<double> rhs) {
+  const Index n = factor.pattern.cols();
+  TM_CHECK(rhs.size() == static_cast<std::size_t>(n),
+           "solve: rhs size mismatch");
+  // Forward: L y = b.
+  for (Index j = 0; j < n; ++j) {
+    const auto lc = factor.pattern.column(j);
+    const std::size_t base = static_cast<std::size_t>(
+        factor.pattern.col_ptr()[static_cast<std::size_t>(j)]);
+    TM_ASSERT(!lc.empty() && lc.front() == j, "factor missing diagonal");
+    rhs[static_cast<std::size_t>(j)] /= factor.values[base];
+    const double yj = rhs[static_cast<std::size_t>(j)];
+    for (std::size_t i = 1; i < lc.size(); ++i) {
+      rhs[static_cast<std::size_t>(lc[i])] -= factor.values[base + i] * yj;
+    }
+  }
+  // Backward: Lᵀ x = y.
+  for (Index j = n; j-- > 0;) {
+    const auto lc = factor.pattern.column(j);
+    const std::size_t base = static_cast<std::size_t>(
+        factor.pattern.col_ptr()[static_cast<std::size_t>(j)]);
+    double sum = rhs[static_cast<std::size_t>(j)];
+    for (std::size_t i = 1; i < lc.size(); ++i) {
+      sum -= factor.values[base + i] * rhs[static_cast<std::size_t>(lc[i])];
+    }
+    rhs[static_cast<std::size_t>(j)] = sum / factor.values[base];
+  }
+  return rhs;
+}
+
+}  // namespace treemem

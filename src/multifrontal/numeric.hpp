@@ -1,0 +1,99 @@
+// A numerical multifrontal Cholesky factorization driven by the assembly
+// tree and a planned traversal — the system the paper's model abstracts.
+//
+// This closes the loop on the reproduction: the traversal algorithms
+// operate on the (n_i, f_i) weight model, and this engine executes the
+// *actual* factorization those weights describe. For trees built with
+// perfect amalgamation only, the engine's measured live memory at every
+// step equals the abstract in-tree transient of core/check.hpp exactly
+// (full-square frontal storage, the paper's convention); with relaxed
+// amalgamation the model pads fronts with explicit zeros, so measured
+// memory is bounded by the model. Both facts are asserted in the tests.
+//
+// Scope: double-precision Cholesky of symmetric positive definite matrices;
+// fronts are dense full squares; contribution blocks live until the parent
+// assembles them (any valid bottom-up traversal, not just postorders).
+#pragma once
+
+#include <vector>
+
+#include "core/traversal.hpp"
+#include "sparse/pattern.hpp"
+#include "symbolic/assembly_tree.hpp"
+#include "tree/tree.hpp"
+
+namespace treemem {
+
+/// A symmetric matrix with values: `pattern` holds the full symmetric
+/// pattern (both triangles + diagonal); `value_of(r, c)` is defined for
+/// every stored entry, with value(r,c) == value(c,r).
+class SymmetricMatrix {
+ public:
+  SymmetricMatrix() = default;
+
+  /// `values` aligned with pattern.row_idx(). The symmetry of the values is
+  /// validated on construction.
+  SymmetricMatrix(SparsePattern pattern, std::vector<double> values);
+
+  const SparsePattern& pattern() const { return pattern_; }
+  Index size() const { return pattern_.cols(); }
+
+  /// Value at (row, col); zero if the entry is not stored.
+  double value_of(Index row, Index col) const;
+
+  /// P A Pᵀ with the same convention as permute_symmetric.
+  SymmetricMatrix permuted(const std::vector<Index>& perm) const;
+
+ private:
+  SparsePattern pattern_;
+  std::vector<double> values_;
+};
+
+/// A strictly diagonally dominant (hence SPD) matrix on the given symmetric
+/// pattern: off-diagonals drawn in [-1, -1/4] ∪ [1/4, 1], diagonal set to
+/// 1 + Σ|row off-diagonals|. Deterministic in `seed`.
+SymmetricMatrix make_spd_matrix(const SparsePattern& pattern,
+                                std::uint64_t seed);
+
+/// Lower-triangular factor in CSC form (pattern includes the diagonal).
+struct CholeskyFactor {
+  SparsePattern pattern;       ///< lower triangle of L
+  std::vector<double> values;  ///< aligned with pattern.row_idx()
+
+  double value_of(Index row, Index col) const;
+};
+
+/// Result of a multifrontal run.
+struct MultifrontalResult {
+  CholeskyFactor factor;
+  /// Largest number of simultaneously live matrix entries (resident
+  /// contribution blocks + the active front, both stored as full squares as
+  /// in the paper's model). Factor entries stream out and are not counted,
+  /// matching the out-of-core multifrontal convention.
+  Weight peak_live_entries = 0;
+  /// Live entries after each supernode's elimination (length = tree size).
+  std::vector<Weight> live_after_step;
+  /// Total floating-point operations of the dense eliminations.
+  long long flops = 0;
+};
+
+/// Factors `matrix` (already permuted!) with the multifrontal method.
+///
+/// `assembly` must come from build_assembly_tree on matrix.pattern();
+/// `bottom_up_order` is an in-tree traversal of assembly.tree (children
+/// before parents) — e.g. reverse_traversal(minmem_optimal(tree).order).
+/// Throws if the order is invalid or the matrix does not match the tree.
+MultifrontalResult multifrontal_cholesky(const SymmetricMatrix& matrix,
+                                         const AssemblyTree& assembly,
+                                         const Traversal& bottom_up_order);
+
+/// Frobenius norm of A − L·Lᵀ divided by the norm of A — the correctness
+/// metric for factorization tests.
+double relative_residual(const SymmetricMatrix& matrix,
+                         const CholeskyFactor& factor);
+
+/// Solves A x = b via the factor (forward + backward substitution).
+std::vector<double> solve_with_factor(const CholeskyFactor& factor,
+                                      std::vector<double> rhs);
+
+}  // namespace treemem

@@ -1,0 +1,311 @@
+#include <algorithm>
+#include <numeric>
+
+#include "order/ordering.hpp"
+
+namespace treemem {
+
+std::vector<Index> natural_order(Index n) {
+  std::vector<Index> perm(static_cast<std::size_t>(n));
+  std::iota(perm.begin(), perm.end(), Index{0});
+  return perm;
+}
+
+std::vector<Index> random_order(Index n, Prng& prng) {
+  std::vector<Index> perm = natural_order(n);
+  prng.shuffle(perm);
+  return perm;
+}
+
+namespace {
+
+/// Vertex degree excluding the diagonal.
+Index off_degree(const SparsePattern& a, Index v) {
+  Index d = static_cast<Index>(a.column(v).size());
+  if (a.has_entry(v, v)) {
+    --d;
+  }
+  return d;
+}
+
+/// BFS from `start` over unvisited vertices; returns vertices level by
+/// level (appended to `out`) and the index of the last level's start.
+struct LevelStructure {
+  std::vector<Index> vertices;       // concatenated levels
+  std::vector<std::size_t> level_ptr;  // offsets per level
+};
+
+LevelStructure bfs_levels(const SparsePattern& a, Index start,
+                          const std::vector<char>& blocked) {
+  LevelStructure ls;
+  std::vector<char> seen(blocked.begin(), blocked.end());
+  ls.vertices.push_back(start);
+  seen[static_cast<std::size_t>(start)] = 1;
+  ls.level_ptr.push_back(0);
+  std::size_t level_begin = 0;
+  while (level_begin < ls.vertices.size()) {
+    const std::size_t level_end = ls.vertices.size();
+    for (std::size_t k = level_begin; k < level_end; ++k) {
+      for (const Index w : a.column(ls.vertices[k])) {
+        if (!seen[static_cast<std::size_t>(w)]) {
+          seen[static_cast<std::size_t>(w)] = 1;
+          ls.vertices.push_back(w);
+        }
+      }
+    }
+    if (ls.vertices.size() == level_end) {
+      break;  // no new level
+    }
+    ls.level_ptr.push_back(level_end);
+    level_begin = level_end;
+  }
+  ls.level_ptr.push_back(ls.vertices.size());
+  return ls;
+}
+
+/// A vertex of (approximately) maximal eccentricity in the component of
+/// `start`: repeat BFS from the last level's min-degree vertex until the
+/// eccentricity stops growing (George–Liu).
+Index pseudo_peripheral(const SparsePattern& a, Index start,
+                        const std::vector<char>& blocked) {
+  Index v = start;
+  std::size_t depth = 0;
+  for (int round = 0; round < 8; ++round) {
+    const LevelStructure ls = bfs_levels(a, v, blocked);
+    const std::size_t levels = ls.level_ptr.size() - 1;
+    if (levels <= depth) {
+      break;
+    }
+    depth = levels;
+    // Min-degree vertex of the last level.
+    Index best = ls.vertices[ls.level_ptr[levels - 1]];
+    for (std::size_t k = ls.level_ptr[levels - 1]; k < ls.level_ptr[levels]; ++k) {
+      if (off_degree(a, ls.vertices[k]) < off_degree(a, best)) {
+        best = ls.vertices[k];
+      }
+    }
+    v = best;
+  }
+  return v;
+}
+
+}  // namespace
+
+std::vector<Index> rcm_order(const SparsePattern& a) {
+  TM_CHECK(a.is_square(), "rcm_order: pattern must be square");
+  const Index n = a.cols();
+  std::vector<Index> order;
+  order.reserve(static_cast<std::size_t>(n));
+  std::vector<char> visited(static_cast<std::size_t>(n), 0);
+  std::vector<Index> buffer;
+
+  for (Index seed = 0; seed < n; ++seed) {
+    if (visited[static_cast<std::size_t>(seed)]) {
+      continue;
+    }
+    const std::vector<char> blocked(visited.begin(), visited.end());
+    const Index start = pseudo_peripheral(a, seed, blocked);
+    // Cuthill–McKee BFS with degree-sorted neighbour expansion.
+    std::size_t head = order.size();
+    order.push_back(start);
+    visited[static_cast<std::size_t>(start)] = 1;
+    while (head < order.size()) {
+      const Index v = order[head++];
+      buffer.clear();
+      for (const Index w : a.column(v)) {
+        if (!visited[static_cast<std::size_t>(w)]) {
+          visited[static_cast<std::size_t>(w)] = 1;
+          buffer.push_back(w);
+        }
+      }
+      std::sort(buffer.begin(), buffer.end(), [&](Index x, Index y) {
+        const Index dx = off_degree(a, x);
+        const Index dy = off_degree(a, y);
+        return dx != dy ? dx < dy : x < y;
+      });
+      order.insert(order.end(), buffer.begin(), buffer.end());
+    }
+  }
+  std::reverse(order.begin(), order.end());
+  return order;
+}
+
+std::vector<Index> nested_dissection_order(
+    const SparsePattern& a, const NestedDissectionOptions& options) {
+  TM_CHECK(a.is_square(), "nested_dissection_order: pattern must be square");
+  TM_CHECK(options.leaf_size >= 1, "nested_dissection_order: bad leaf size");
+  const Index n = a.cols();
+  std::vector<Index> perm;
+  perm.reserve(static_cast<std::size_t>(n));
+
+  // `assigned` marks vertices already placed in the output (or pending in a
+  // separator of an enclosing level — those are blocked for the recursion).
+  std::vector<char> blocked(static_cast<std::size_t>(n), 0);
+
+  // Explicit recursion: each frame owns a vertex subset. Separator vertices
+  // are emitted after both halves, giving elimination order part,part,sep.
+  struct Frame {
+    std::vector<Index> vertices;
+    std::vector<Index> separator;  // emitted when the frame finishes
+    bool expanded = false;
+  };
+  std::vector<Frame> stack;
+
+  // Seed one frame per connected component-ish region: just one frame with
+  // all vertices; BFS inside handles disconnection.
+  {
+    Frame top;
+    top.vertices.resize(static_cast<std::size_t>(n));
+    std::iota(top.vertices.begin(), top.vertices.end(), Index{0});
+    stack.push_back(std::move(top));
+  }
+
+  std::vector<char> in_subset(static_cast<std::size_t>(n), 0);
+
+  while (!stack.empty()) {
+    Frame& frame = stack.back();
+    if (frame.expanded) {
+      // Children done; emit the separator (min-degree order within it would
+      // need a quotient graph — natural order is standard for level-set ND).
+      perm.insert(perm.end(), frame.separator.begin(), frame.separator.end());
+      stack.pop_back();
+      continue;
+    }
+    frame.expanded = true;
+
+    if (frame.vertices.empty()) {
+      stack.pop_back();
+      continue;
+    }
+    if (static_cast<Index>(frame.vertices.size()) <= options.leaf_size) {
+      // Order the leaf subgraph by minimum degree for quality.
+      // Build the induced subpattern.
+      std::vector<Index> local_of(static_cast<std::size_t>(n), -1);
+      for (std::size_t k = 0; k < frame.vertices.size(); ++k) {
+        local_of[static_cast<std::size_t>(frame.vertices[k])] =
+            static_cast<Index>(k);
+      }
+      std::vector<std::pair<Index, Index>> entries;
+      for (const Index v : frame.vertices) {
+        const Index lv = local_of[static_cast<std::size_t>(v)];
+        entries.emplace_back(lv, lv);
+        for (const Index w : a.column(v)) {
+          const Index lw = local_of[static_cast<std::size_t>(w)];
+          if (lw >= 0) {
+            entries.emplace_back(lw, lv);
+          }
+        }
+      }
+      const SparsePattern sub = SparsePattern::from_coo(
+          static_cast<Index>(frame.vertices.size()),
+          static_cast<Index>(frame.vertices.size()), std::move(entries));
+      const std::vector<Index> local = min_degree_order(sub);
+      const std::vector<Index> vertices = frame.vertices;  // frame may move
+      for (const Index lk : local) {
+        perm.push_back(vertices[static_cast<std::size_t>(lk)]);
+      }
+      stack.pop_back();
+      continue;
+    }
+
+    // Find a separator: BFS level structure from a pseudo-peripheral vertex
+    // of the (largest piece of the) subset, cut at the median level.
+    for (const Index v : frame.vertices) {
+      in_subset[static_cast<std::size_t>(v)] = 1;
+    }
+    std::vector<char> sub_blocked(static_cast<std::size_t>(n), 1);
+    for (const Index v : frame.vertices) {
+      sub_blocked[static_cast<std::size_t>(v)] = 0;
+    }
+    const Index start = pseudo_peripheral(a, frame.vertices.front(), sub_blocked);
+    const LevelStructure ls = bfs_levels(a, start, sub_blocked);
+    const std::size_t levels = ls.level_ptr.size() - 1;
+
+    std::vector<Index> separator;
+    std::vector<Index> below;
+    std::vector<Index> above;
+    if (levels <= 2 || ls.vertices.size() < frame.vertices.size()) {
+      // Disconnected subset or too-shallow structure: peel the reached
+      // piece off as "below", the rest as "above", no separator.
+      std::vector<char> reached(static_cast<std::size_t>(n), 0);
+      for (const Index v : ls.vertices) {
+        reached[static_cast<std::size_t>(v)] = 1;
+      }
+      if (ls.vertices.size() < frame.vertices.size()) {
+        below = ls.vertices;
+        for (const Index v : frame.vertices) {
+          if (!reached[static_cast<std::size_t>(v)]) {
+            above.push_back(v);
+          }
+        }
+      } else {
+        // Connected but shallow: fall back to min-degree on the whole
+        // subset by shrinking the leaf threshold locally.
+        std::vector<Index> local_of(static_cast<std::size_t>(n), -1);
+        for (std::size_t k = 0; k < frame.vertices.size(); ++k) {
+          local_of[static_cast<std::size_t>(frame.vertices[k])] =
+              static_cast<Index>(k);
+        }
+        std::vector<std::pair<Index, Index>> entries;
+        for (const Index v : frame.vertices) {
+          const Index lv = local_of[static_cast<std::size_t>(v)];
+          entries.emplace_back(lv, lv);
+          for (const Index w : a.column(v)) {
+            const Index lw = local_of[static_cast<std::size_t>(w)];
+            if (lw >= 0) {
+              entries.emplace_back(lw, lv);
+            }
+          }
+        }
+        const SparsePattern sub = SparsePattern::from_coo(
+            static_cast<Index>(frame.vertices.size()),
+            static_cast<Index>(frame.vertices.size()), std::move(entries));
+        const std::vector<Index> local = min_degree_order(sub);
+        const std::vector<Index> vertices = frame.vertices;
+        for (const Index lk : local) {
+          perm.push_back(vertices[static_cast<std::size_t>(lk)]);
+        }
+        for (const Index v : vertices) {
+          in_subset[static_cast<std::size_t>(v)] = 0;
+        }
+        stack.pop_back();
+        continue;
+      }
+    } else {
+      // Median level becomes the separator.
+      std::size_t mid = 1;
+      const std::size_t half = ls.vertices.size() / 2;
+      while (mid + 1 < levels && ls.level_ptr[mid + 1] < half) {
+        ++mid;
+      }
+      std::vector<char> role(static_cast<std::size_t>(n), 0);  // 1=sep
+      for (std::size_t k = ls.level_ptr[mid]; k < ls.level_ptr[mid + 1]; ++k) {
+        role[static_cast<std::size_t>(ls.vertices[k])] = 1;
+        separator.push_back(ls.vertices[k]);
+      }
+      for (std::size_t k = 0; k < ls.level_ptr[mid]; ++k) {
+        below.push_back(ls.vertices[k]);
+      }
+      for (std::size_t k = ls.level_ptr[mid + 1]; k < ls.vertices.size(); ++k) {
+        above.push_back(ls.vertices[k]);
+      }
+    }
+
+    for (const Index v : frame.vertices) {
+      in_subset[static_cast<std::size_t>(v)] = 0;
+    }
+    frame.separator = std::move(separator);
+    // Push halves; they complete before the separator is emitted.
+    Frame lo;
+    lo.vertices = std::move(below);
+    Frame hi;
+    hi.vertices = std::move(above);
+    stack.push_back(std::move(lo));
+    stack.push_back(std::move(hi));
+  }
+
+  check_permutation(perm, n);
+  return perm;
+}
+
+}  // namespace treemem

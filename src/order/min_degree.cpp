@@ -1,0 +1,364 @@
+// Quotient-graph minimum-degree ordering (AMD-class).
+//
+// The quotient graph represents the partially eliminated matrix implicitly:
+// eliminated pivots become *elements* whose variable lists stand for the
+// cliques their elimination created. Each surviving (super)variable i keeps
+//   * adj_var[i]  — adjacent supervariables via original entries,
+//   * adj_elem[i] — adjacent elements,
+// and the fill neighbourhood of i is adj_var[i] ∪ ⋃_{e∈adj_elem[i]} vars(e).
+//
+// Per pivot p: form the new element L_p, absorb the elements adjacent to p,
+// prune covered variable-variable edges, update degrees (either AMD's
+// approximate external degree, computed with the one-pass |L_e \ L_p|
+// trick, or the exact degree for validation), and merge indistinguishable
+// supervariables found by adjacency hashing. Ties break toward the smaller
+// vertex id, making the ordering deterministic.
+#include <algorithm>
+#include <queue>
+
+#include "order/ordering.hpp"
+
+namespace treemem {
+namespace {
+using Weight = std::int64_t;
+}  // namespace
+}  // namespace treemem
+
+namespace treemem {
+
+namespace {
+
+class MinDegreeSolver {
+ public:
+  MinDegreeSolver(const SparsePattern& a, const MinDegreeOptions& options)
+      : n_(a.cols()), options_(options) {
+    adj_var_.resize(static_cast<std::size_t>(n_));
+    adj_elem_.resize(static_cast<std::size_t>(n_));
+    elem_vars_.resize(static_cast<std::size_t>(n_));
+    weight_.assign(static_cast<std::size_t>(n_), 1);
+    degree_.assign(static_cast<std::size_t>(n_), 0);
+    state_.assign(static_cast<std::size_t>(n_), State::kAlive);
+    members_.resize(static_cast<std::size_t>(n_));
+    mark_.assign(static_cast<std::size_t>(n_), 0);
+    scratch_weight_.assign(static_cast<std::size_t>(n_), -1);
+
+    for (Index j = 0; j < n_; ++j) {
+      members_[static_cast<std::size_t>(j)] = {j};
+      auto& adj = adj_var_[static_cast<std::size_t>(j)];
+      for (const Index r : a.column(j)) {
+        if (r != j) {
+          adj.push_back(r);
+        }
+      }
+      degree_[static_cast<std::size_t>(j)] =
+          static_cast<Index>(adj.size());
+      heap_.push({degree_[static_cast<std::size_t>(j)], j});
+    }
+  }
+
+  std::vector<Index> solve() {
+    std::vector<Index> perm;
+    perm.reserve(static_cast<std::size_t>(n_));
+    Index eliminated = 0;
+    while (eliminated < n_) {
+      const Index p = pop_min_degree();
+      eliminate(p, perm);
+      eliminated += weight_[static_cast<std::size_t>(p)];
+    }
+    check_permutation(perm, n_);
+    return perm;
+  }
+
+ private:
+  enum class State : char { kAlive, kElement, kMerged, kDead };
+
+  Index pop_min_degree() {
+    while (true) {
+      TM_ASSERT(!heap_.empty(), "min-degree heap exhausted early");
+      const auto [deg, v] = heap_.top();
+      heap_.pop();
+      if (state_[static_cast<std::size_t>(v)] == State::kAlive &&
+          degree_[static_cast<std::size_t>(v)] == deg) {
+        return v;
+      }
+    }
+  }
+
+  /// Current fill neighbourhood of p (supervariables, excluding p),
+  /// using the marker array; also purges dead entries from p's lists.
+  std::vector<Index> neighbourhood(Index p) {
+    ++stamp_;
+    mark_[static_cast<std::size_t>(p)] = stamp_;
+    std::vector<Index> out;
+    auto visit = [&](Index v) {
+      if (state_[static_cast<std::size_t>(v)] == State::kAlive &&
+          mark_[static_cast<std::size_t>(v)] != stamp_) {
+        mark_[static_cast<std::size_t>(v)] = stamp_;
+        out.push_back(v);
+      }
+    };
+    for (const Index v : adj_var_[static_cast<std::size_t>(p)]) {
+      visit(v);
+    }
+    for (const Index e : adj_elem_[static_cast<std::size_t>(p)]) {
+      if (state_[static_cast<std::size_t>(e)] == State::kElement) {
+        for (const Index v : elem_vars_[static_cast<std::size_t>(e)]) {
+          visit(v);
+        }
+      }
+    }
+    return out;
+  }
+
+  void eliminate(Index p, std::vector<Index>& perm) {
+    // Emit all original columns merged into supervariable p.
+    for (const Index original : members_[static_cast<std::size_t>(p)]) {
+      perm.push_back(original);
+    }
+
+    std::vector<Index> lp = neighbourhood(p);
+
+    // Absorb the elements adjacent to p: their cliques are subsets of L_p.
+    std::vector<Index> absorbed;
+    for (const Index e : adj_elem_[static_cast<std::size_t>(p)]) {
+      if (state_[static_cast<std::size_t>(e)] == State::kElement) {
+        state_[static_cast<std::size_t>(e)] = State::kDead;
+        absorbed.push_back(e);
+        elem_vars_[static_cast<std::size_t>(e)].clear();
+        elem_vars_[static_cast<std::size_t>(e)].shrink_to_fit();
+      }
+    }
+
+    // p becomes an element.
+    state_[static_cast<std::size_t>(p)] = State::kElement;
+    elem_vars_[static_cast<std::size_t>(p)] = lp;
+    adj_var_[static_cast<std::size_t>(p)].clear();
+    adj_var_[static_cast<std::size_t>(p)].shrink_to_fit();
+    adj_elem_[static_cast<std::size_t>(p)].clear();
+    adj_elem_[static_cast<std::size_t>(p)].shrink_to_fit();
+
+    // Weight of L_p (sum of supervariable sizes), for degree updates.
+    Weight lp_weight = 0;
+    for (const Index i : lp) {
+      lp_weight += weight_[static_cast<std::size_t>(i)];
+    }
+
+    // One-pass |L_e \ L_p| computation (Amestoy–Davis–Duff): initialize
+    // w[e] = |L_e| and subtract the weights of members also in L_p.
+    std::vector<Index> touched_elems;
+    if (options_.approximate_degree) {
+      for (const Index i : lp) {
+        for (const Index e : adj_elem_[static_cast<std::size_t>(i)]) {
+          if (state_[static_cast<std::size_t>(e)] != State::kElement) {
+            continue;
+          }
+          if (scratch_weight_[static_cast<std::size_t>(e)] < 0) {
+            Weight total = 0;
+            for (const Index v : elem_vars_[static_cast<std::size_t>(e)]) {
+              if (state_[static_cast<std::size_t>(v)] == State::kAlive) {
+                total += weight_[static_cast<std::size_t>(v)];
+              }
+            }
+            scratch_weight_[static_cast<std::size_t>(e)] = total;
+            touched_elems.push_back(e);
+          }
+          scratch_weight_[static_cast<std::size_t>(e)] -=
+              weight_[static_cast<std::size_t>(i)];
+        }
+      }
+    }
+
+    // Pass 1: prune the lists of every member of L_p. The stamp marks L_p
+    // membership; keep this pass free of neighbourhood() calls, which would
+    // reuse the same marker array.
+    ++stamp_;
+    for (const Index i : lp) {
+      mark_[static_cast<std::size_t>(i)] = stamp_;  // "in L_p"
+    }
+    for (const Index i : lp) {
+      auto& vars = adj_var_[static_cast<std::size_t>(i)];
+      // Drop dead/merged entries, p itself, and variable edges covered by
+      // the new element (both endpoints in L_p).
+      vars.erase(std::remove_if(vars.begin(), vars.end(),
+                                [&](Index v) {
+                                  return v == p ||
+                                         state_[static_cast<std::size_t>(v)] !=
+                                             State::kAlive ||
+                                         mark_[static_cast<std::size_t>(v)] ==
+                                             stamp_;
+                                }),
+                 vars.end());
+      auto& elems = adj_elem_[static_cast<std::size_t>(i)];
+      elems.erase(std::remove_if(elems.begin(), elems.end(),
+                                 [&](Index e) {
+                                   return state_[static_cast<std::size_t>(e)] !=
+                                          State::kElement;
+                                 }),
+                  elems.end());
+      elems.push_back(p);
+    }
+
+    // Pass 2: recompute degrees.
+    for (const Index i : lp) {
+      auto& vars = adj_var_[static_cast<std::size_t>(i)];
+      auto& elems = adj_elem_[static_cast<std::size_t>(i)];
+      if (options_.approximate_degree) {
+        // d_i ≈ |L_p \ i| + Σ_e |L_e \ L_p| + |alive adj vars|, capped by
+        // both n - eliminated and the exact-fill upper bound d_old + |L_p\i|.
+        Weight d = lp_weight - weight_[static_cast<std::size_t>(i)];
+        for (const Index v : vars) {
+          d += weight_[static_cast<std::size_t>(v)];
+        }
+        for (const Index e : elems) {
+          if (e != p && scratch_weight_[static_cast<std::size_t>(e)] > 0) {
+            d += scratch_weight_[static_cast<std::size_t>(e)];
+          }
+        }
+        const Weight cap = degree_[static_cast<std::size_t>(i)] + lp_weight -
+                           weight_[static_cast<std::size_t>(i)];
+        d = std::min(d, cap);
+        set_degree(i, static_cast<Index>(std::min<Weight>(d, n_)));
+      } else {
+        // Exact degree: weight of the full fill neighbourhood.
+        const std::vector<Index> nb = neighbourhood(i);
+        Weight d = 0;
+        for (const Index v : nb) {
+          d += weight_[static_cast<std::size_t>(v)];
+        }
+        set_degree(i, static_cast<Index>(std::min<Weight>(d, n_)));
+      }
+    }
+
+    for (const Index e : touched_elems) {
+      scratch_weight_[static_cast<std::size_t>(e)] = -1;
+    }
+
+    if (options_.supervariables) {
+      merge_indistinguishable(lp);
+    }
+  }
+
+  void set_degree(Index v, Index d) {
+    degree_[static_cast<std::size_t>(v)] = d;
+    heap_.push({d, v});
+  }
+
+  /// Detects pairs in L_p with identical quotient-graph adjacency (they are
+  /// indistinguishable and will be eliminated together) and merges them.
+  void merge_indistinguishable(const std::vector<Index>& lp) {
+    // Bucket by a cheap adjacency hash.
+    std::vector<std::pair<std::uint64_t, Index>> buckets;
+    buckets.reserve(lp.size());
+    for (const Index i : lp) {
+      if (state_[static_cast<std::size_t>(i)] != State::kAlive) {
+        continue;
+      }
+      std::uint64_t h = 0;
+      for (const Index v : adj_var_[static_cast<std::size_t>(i)]) {
+        h += static_cast<std::uint64_t>(v) * 0x9e3779b97f4a7c15ULL;
+      }
+      for (const Index e : adj_elem_[static_cast<std::size_t>(i)]) {
+        h += static_cast<std::uint64_t>(e) * 0xbf58476d1ce4e5b9ULL;
+      }
+      buckets.emplace_back(h, i);
+    }
+    std::sort(buckets.begin(), buckets.end());
+    for (std::size_t b = 0; b < buckets.size();) {
+      std::size_t e = b + 1;
+      while (e < buckets.size() && buckets[e].first == buckets[b].first) {
+        ++e;
+      }
+      // Pairwise-compare within a bucket (buckets are tiny in practice).
+      for (std::size_t x = b; x < e; ++x) {
+        const Index i = buckets[x].second;
+        if (state_[static_cast<std::size_t>(i)] != State::kAlive) {
+          continue;
+        }
+        for (std::size_t y = x + 1; y < e; ++y) {
+          const Index j = buckets[y].second;
+          if (state_[static_cast<std::size_t>(j)] != State::kAlive) {
+            continue;
+          }
+          if (same_adjacency(i, j)) {
+            absorb(i, j);
+          }
+        }
+      }
+      b = e;
+    }
+  }
+
+  bool same_adjacency(Index i, Index j) {
+    // Compare alive adjacency sets, ignoring the i-j edge itself.
+    auto canon = [&](Index v, Index other) {
+      std::vector<Index> vars;
+      for (const Index w : adj_var_[static_cast<std::size_t>(v)]) {
+        if (w != other && state_[static_cast<std::size_t>(w)] == State::kAlive) {
+          vars.push_back(w);
+        }
+      }
+      std::vector<Index> elems;
+      for (const Index e : adj_elem_[static_cast<std::size_t>(v)]) {
+        if (state_[static_cast<std::size_t>(e)] == State::kElement) {
+          elems.push_back(e);
+        }
+      }
+      std::sort(vars.begin(), vars.end());
+      vars.erase(std::unique(vars.begin(), vars.end()), vars.end());
+      std::sort(elems.begin(), elems.end());
+      elems.erase(std::unique(elems.begin(), elems.end()), elems.end());
+      return std::make_pair(std::move(vars), std::move(elems));
+    };
+    return canon(i, j) == canon(j, i);
+  }
+
+  /// Merges supervariable j into i.
+  void absorb(Index i, Index j) {
+    state_[static_cast<std::size_t>(j)] = State::kMerged;
+    weight_[static_cast<std::size_t>(i)] += weight_[static_cast<std::size_t>(j)];
+    auto& mi = members_[static_cast<std::size_t>(i)];
+    auto& mj = members_[static_cast<std::size_t>(j)];
+    mi.insert(mi.end(), mj.begin(), mj.end());
+    mj.clear();
+    mj.shrink_to_fit();
+    adj_var_[static_cast<std::size_t>(j)].clear();
+    adj_elem_[static_cast<std::size_t>(j)].clear();
+  }
+
+  Index n_;
+  MinDegreeOptions options_;
+  std::vector<std::vector<Index>> adj_var_;
+  std::vector<std::vector<Index>> adj_elem_;
+  std::vector<std::vector<Index>> elem_vars_;
+  std::vector<std::vector<Index>> members_;
+  std::vector<Weight> weight_;
+  std::vector<Index> degree_;
+  std::vector<State> state_;
+  std::vector<Index> mark_;
+  Index stamp_ = 0;
+  std::vector<Weight> scratch_weight_;
+
+  struct HeapEntry {
+    Index degree;
+    Index node;
+    bool operator>(const HeapEntry& other) const {
+      return degree != other.degree ? degree > other.degree
+                                    : node > other.node;
+    }
+  };
+  std::priority_queue<HeapEntry, std::vector<HeapEntry>, std::greater<>> heap_;
+};
+
+}  // namespace
+
+std::vector<Index> min_degree_order(const SparsePattern& a,
+                                    const MinDegreeOptions& options) {
+  TM_CHECK(a.is_square(), "min_degree_order: pattern must be square");
+  if (a.cols() == 0) {
+    return {};
+  }
+  MinDegreeSolver solver(a, options);
+  return solver.solve();
+}
+
+}  // namespace treemem

@@ -1,0 +1,57 @@
+// Fill-reducing orderings.
+//
+// The paper orders every matrix with MeTiS (nested dissection) and with
+// Matlab's amd (minimum degree) before building elimination trees
+// (Section VI-B). This module provides both families from scratch:
+//   * min_degree_order  — quotient-graph minimum degree with element
+//     absorption, supervariable merging and AMD-style approximate external
+//     degrees (an AMD-class code);
+//   * nested_dissection_order — recursive level-set bisection with
+//     minimum-degree leaf ordering (a MeTiS-class morphology);
+//   * rcm_order / natural_order / random_order — profile-style baselines.
+//
+// Convention: an ordering `perm` lists original indices in elimination
+// order — perm[k] is the original column eliminated k-th (Matlab's
+// A(p,p)). Use invert_permutation for old→new maps.
+#pragma once
+
+#include "sparse/pattern.hpp"
+#include "support/prng.hpp"
+
+namespace treemem {
+
+/// Identity ordering.
+std::vector<Index> natural_order(Index n);
+
+/// Uniformly random ordering (baseline for fill studies).
+std::vector<Index> random_order(Index n, Prng& prng);
+
+/// Reverse Cuthill–McKee: BFS from a pseudo-peripheral vertex with
+/// degree-sorted neighbour visits, reversed. Bandwidth/profile reducer.
+/// `pattern` must be symmetric with full diagonal.
+std::vector<Index> rcm_order(const SparsePattern& pattern);
+
+/// Options for the minimum-degree ordering.
+struct MinDegreeOptions {
+  /// Detect indistinguishable supervariables by adjacency hashing.
+  bool supervariables = true;
+  /// Use AMD's approximate external degree (true) or exact recomputation
+  /// from the quotient graph (false; slower, used for validation).
+  bool approximate_degree = true;
+};
+
+/// Quotient-graph minimum-degree ordering (AMD-class).
+std::vector<Index> min_degree_order(const SparsePattern& pattern,
+                                    const MinDegreeOptions& options = {});
+
+/// Options for nested dissection.
+struct NestedDissectionOptions {
+  /// Subgraphs at or below this size are ordered by minimum degree.
+  Index leaf_size = 64;
+};
+
+/// Recursive bisection by BFS level-structure separators.
+std::vector<Index> nested_dissection_order(
+    const SparsePattern& pattern, const NestedDissectionOptions& options = {});
+
+}  // namespace treemem

@@ -1,0 +1,72 @@
+// Memory-bounded parallel tree traversal — the direction the paper's
+// conclusion points to ("multi-core platforms ... call for re-designing the
+// whole computational chain ... memory-aware computational kernels at every
+// level").
+//
+// An event-driven simulator of the multifrontal task tree on `w` workers
+// sharing one memory of size M. Task i (in-tree direction) becomes ready
+// when all children finished; while it runs it holds its children's files,
+// its execution file and its output (the Eq. 1 transient); on completion
+// the children files and n_i are freed and f_i stays resident until the
+// parent consumes it. A ready task may start only if the memory bound
+// admits its transient on top of everything currently held.
+//
+// The simulator exposes the fundamental tension this creates: more workers
+// mean more concurrent fronts and thus more memory — with a tight budget
+// the scheduler serializes (or, if even one task cannot fit, fails), so
+// speedup is bought with memory. bench/parallel_tradeoff quantifies it.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/traversal.hpp"
+#include "tree/tree.hpp"
+
+namespace treemem {
+
+enum class ParallelPriority {
+  kCriticalPath,  ///< longest duration-weighted path to the root first
+  kPostorder,     ///< follow the serial best-postorder order
+  kSmallestWork,  ///< cheapest ready task first (greedy latency)
+};
+
+const char* to_string(ParallelPriority priority);
+
+struct ParallelOptions {
+  int workers = 4;
+  /// Shared memory bound; kInfiniteWeight disables the constraint.
+  Weight memory_budget = kInfiniteWeight;
+  ParallelPriority priority = ParallelPriority::kCriticalPath;
+};
+
+/// One scheduled task instance.
+struct TaskInterval {
+  NodeId node = kNoNode;
+  int worker = -1;
+  double start = 0.0;
+  double finish = 0.0;
+};
+
+struct ParallelScheduleResult {
+  /// False iff some task can never start under the memory bound.
+  bool feasible = false;
+  double makespan = 0.0;
+  /// Peak of the simulated shared-memory occupancy.
+  Weight peak_memory = 0;
+  /// Σ durations / makespan — the achieved parallel speedup.
+  double speedup = 0.0;
+  std::vector<TaskInterval> gantt;
+};
+
+/// Task durations: proportional to the node's transient footprint
+/// (n_i + f_i, at least 1) — a flop-count proxy adequate for scheduling
+/// studies. Use the explicit overload for custom durations.
+ParallelScheduleResult simulate_parallel_traversal(const Tree& tree,
+                                                   const ParallelOptions& options);
+
+ParallelScheduleResult simulate_parallel_traversal(
+    const Tree& tree, const ParallelOptions& options,
+    const std::vector<double>& durations);
+
+}  // namespace treemem

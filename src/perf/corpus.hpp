@@ -1,0 +1,77 @@
+// The experiment corpus: synthetic sparse matrices standing in for the
+// paper's 291 University of Florida matrices, and the full
+// matrix → ordering → elimination tree → assembly tree pipeline that turns
+// them into traversal-problem instances (Section VI-B; substitution
+// rationale in DESIGN.md §4).
+//
+// Everything is seeded and deterministic: corpus(i) is the same instance on
+// every machine and every run.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sparse/pattern.hpp"
+#include "support/prng.hpp"
+#include "symbolic/assembly_tree.hpp"
+#include "tree/tree.hpp"
+
+namespace treemem {
+
+/// One source matrix of the corpus.
+struct CorpusMatrix {
+  std::string name;
+  SparsePattern pattern;  ///< symmetrized, full diagonal
+};
+
+enum class OrderingKind {
+  kMinDegree,        ///< AMD-class (the paper's `amd` runs)
+  kNestedDissection, ///< MeTiS-class (the paper's MeTiS runs)
+};
+
+const char* to_string(OrderingKind kind);
+
+/// One traversal-problem instance: a weighted assembly tree plus provenance.
+struct CorpusInstance {
+  std::string name;       ///< "<matrix>/<ordering>/r<relax>"
+  std::string matrix;
+  OrderingKind ordering;
+  Index relax = 1;
+  Tree tree;
+  Index matrix_n = 0;
+  std::int64_t matrix_nnz = 0;
+};
+
+struct CorpusOptions {
+  /// Scale factor on matrix dimensions (1.0 = default sizes of roughly
+  /// 1.5k–20k; the paper used 2e4–2e5 — set 4.0+ to approach that regime
+  /// at matching runtime cost).
+  double scale = 1.0;
+  /// Amalgamation parameters to instantiate per (matrix, ordering), as in
+  /// the paper (1, 2, 4, and 16 for the largest matrices).
+  std::vector<Index> relax_values = {1, 2, 4, 16};
+  /// Base seed for all randomized generators.
+  std::uint64_t seed = 20110516;  // IPDPS 2011
+};
+
+/// The deterministic matrix family (25 matrices across 7 structural
+/// classes: 2-D/3-D grids, punched grids, random, banded, arrowhead,
+/// block-tridiagonal).
+std::vector<CorpusMatrix> build_corpus_matrices(const CorpusOptions& options = {});
+
+/// Orders a matrix, builds the elimination tree and column counts, and
+/// amalgamates into an assembly tree.
+Tree assembly_tree_for(const SparsePattern& symmetric_pattern,
+                       OrderingKind ordering, Index relax);
+
+/// The full instance set: every matrix × ordering × relax value.
+std::vector<CorpusInstance> build_corpus_instances(
+    const CorpusOptions& options = {});
+
+/// The random-weight variant of Section VI-E: same tree structures,
+/// weights redrawn as n_i ∈ [1, p/500], f_i ∈ [1, p]. `replicas` re-rolls
+/// per structure multiply the case count (the paper reaches >3200 trees).
+std::vector<CorpusInstance> build_random_weight_instances(
+    const CorpusOptions& options = {}, int replicas = 2);
+
+}  // namespace treemem

@@ -1,0 +1,137 @@
+#include "perf/profile.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "support/check.hpp"
+
+namespace treemem {
+
+std::vector<ProfileSeries> performance_profiles(
+    const std::vector<std::vector<double>>& values,
+    const std::vector<std::string>& methods, const ProfileOptions& options) {
+  const std::size_t cases = values.size();
+  const std::size_t m = methods.size();
+  TM_CHECK(m >= 1, "performance_profiles: no methods");
+  for (const auto& row : values) {
+    TM_CHECK(row.size() == m, "performance_profiles: ragged value table");
+  }
+
+  // Per-case ratios (infinity = failure).
+  std::vector<std::vector<double>> ratios(
+      m, std::vector<double>(cases, std::numeric_limits<double>::infinity()));
+  for (std::size_t c = 0; c < cases; ++c) {
+    double best = std::numeric_limits<double>::infinity();
+    for (std::size_t k = 0; k < m; ++k) {
+      const double v = values[c][k];
+      if (std::isfinite(v) && v >= 0.0) {
+        best = std::min(best, v);
+      }
+    }
+    for (std::size_t k = 0; k < m; ++k) {
+      const double v = values[c][k];
+      if (!std::isfinite(v) || v < 0.0 || !std::isfinite(best)) {
+        continue;
+      }
+      if (best == 0.0) {
+        ratios[k][c] = (v == 0.0) ? 1.0
+                                  : std::numeric_limits<double>::infinity();
+      } else {
+        ratios[k][c] = v / best;
+      }
+    }
+  }
+
+  std::vector<ProfileSeries> out(m);
+  for (std::size_t k = 0; k < m; ++k) {
+    out[k].method = methods[k];
+    std::vector<double> r = ratios[k];
+    std::sort(r.begin(), r.end());
+    // Step function: at each distinct finite ratio, the fraction of cases
+    // with ratio <= it.
+    out[k].tau.push_back(1.0);
+    double at_one = 0.0;
+    for (std::size_t i = 0; i < r.size() && r[i] <= 1.0; ++i) {
+      at_one += 1.0;
+    }
+    out[k].fraction.push_back(cases == 0 ? 0.0 : at_one / static_cast<double>(cases));
+    for (std::size_t i = 0; i < r.size(); ++i) {
+      if (!std::isfinite(r[i]) || r[i] <= 1.0) {
+        continue;
+      }
+      if (options.max_tau > 0.0 && r[i] > options.max_tau) {
+        break;
+      }
+      const double frac = static_cast<double>(i + 1) / static_cast<double>(cases);
+      if (!out[k].tau.empty() && out[k].tau.back() == r[i]) {
+        out[k].fraction.back() = frac;  // collapse ties to the last one
+      } else {
+        out[k].tau.push_back(r[i]);
+        out[k].fraction.push_back(frac);
+      }
+    }
+  }
+  return out;
+}
+
+std::string render_profiles(const std::vector<ProfileSeries>& profiles,
+                            const std::string& x_label) {
+  std::vector<PlotSeries> series;
+  double max_tau = 1.0;
+  for (const auto& p : profiles) {
+    if (!p.tau.empty()) {
+      max_tau = std::max(max_tau, p.tau.back());
+    }
+  }
+  for (const auto& p : profiles) {
+    PlotSeries s;
+    s.label = p.method;
+    s.x = p.tau;
+    s.y = p.fraction;
+    // Extend each curve to the global right edge so plateaus are visible.
+    if (!s.x.empty() && s.x.back() < max_tau) {
+      s.x.push_back(max_tau);
+      s.y.push_back(s.y.back());
+    }
+    series.push_back(std::move(s));
+  }
+  PlotOptions options;
+  options.step = true;
+  options.x_label = x_label;
+  options.y_label = "fraction of cases";
+  options.width = 72;
+  options.height = 18;
+  return render_ascii_plot(series, options);
+}
+
+RatioStats ratio_stats(const std::vector<double>& values,
+                       const std::vector<double>& best) {
+  TM_CHECK(values.size() == best.size(), "ratio_stats: size mismatch");
+  RatioStats stats;
+  stats.cases = values.size();
+  if (values.empty()) {
+    return stats;
+  }
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  stats.max_ratio = 0.0;
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    TM_CHECK(best[i] > 0.0, "ratio_stats: non-positive best at case " << i);
+    const double ratio = values[i] / best[i];
+    if (ratio > 1.0 + 1e-12) {
+      ++stats.non_optimal;
+    }
+    stats.max_ratio = std::max(stats.max_ratio, ratio);
+    sum += ratio;
+    sum_sq += ratio * ratio;
+  }
+  const double n = static_cast<double>(values.size());
+  stats.non_optimal_fraction = static_cast<double>(stats.non_optimal) / n;
+  stats.mean_ratio = sum / n;
+  const double var = std::max(0.0, sum_sq / n - stats.mean_ratio * stats.mean_ratio);
+  stats.stddev_ratio = std::sqrt(var);
+  return stats;
+}
+
+}  // namespace treemem

@@ -1,0 +1,59 @@
+// Dolan–Moré performance profiles — the evaluation methodology of the
+// paper's Section VI (Figs. 5–9).
+//
+// Given a metric value per (case, method), the profile of a method is the
+// cumulative distribution ρ(τ) = fraction of cases where
+// value(case, method) ≤ τ · best(case). Higher curves are better; ρ(1) is
+// the fraction of cases where the method is (tied-)best.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "support/ascii_plot.hpp"
+#include "tree/tree.hpp"
+
+namespace treemem {
+
+struct ProfileSeries {
+  std::string method;
+  std::vector<double> tau;       ///< breakpoints, ascending (tau >= 1)
+  std::vector<double> fraction;  ///< ρ(tau), step function (right-continuous)
+};
+
+struct ProfileOptions {
+  /// Clip the τ axis (0 = no clipping). Figs. 5–8 of the paper show τ up to
+  /// 1.1–5 depending on the experiment.
+  double max_tau = 0.0;
+};
+
+/// Builds profiles from a dense value table: values[c][m] is the metric of
+/// method m on case c. Non-finite or negative entries mark failures (the
+/// method never reaches those cases). Cases where the best value is 0 are
+/// handled by treating every method with value 0 as ratio 1 and any other
+/// as failed.
+std::vector<ProfileSeries> performance_profiles(
+    const std::vector<std::vector<double>>& values,
+    const std::vector<std::string>& methods, const ProfileOptions& options = {});
+
+/// Renders profiles as an ASCII step plot.
+std::string render_profiles(const std::vector<ProfileSeries>& profiles,
+                            const std::string& x_label = "tau");
+
+/// Ratio statistics against the per-case best — Tables I & II of the paper.
+struct RatioStats {
+  std::size_t cases = 0;
+  std::size_t non_optimal = 0;   ///< ratio > 1
+  double non_optimal_fraction = 0.0;
+  double max_ratio = 1.0;
+  double mean_ratio = 1.0;
+  double stddev_ratio = 0.0;
+};
+
+/// Stats for one method's values against the per-case best over all
+/// methods... `best` supplies the per-case reference (e.g. the optimal
+/// memory), `values` the method under study.
+RatioStats ratio_stats(const std::vector<double>& values,
+                       const std::vector<double>& best);
+
+}  // namespace treemem

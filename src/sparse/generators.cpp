@@ -1,0 +1,205 @@
+#include "sparse/generators.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace treemem::gen {
+
+namespace {
+
+/// Collects symmetric COO entries (both triangles) plus the diagonal.
+class SymmetricCooBuilder {
+ public:
+  explicit SymmetricCooBuilder(Index n) : n_(n) {
+    for (Index i = 0; i < n; ++i) {
+      entries_.emplace_back(i, i);
+    }
+  }
+
+  void add(Index i, Index j) {
+    if (i == j) {
+      return;  // diagonal already present
+    }
+    entries_.emplace_back(i, j);
+    entries_.emplace_back(j, i);
+  }
+
+  SparsePattern build() {
+    return SparsePattern::from_coo(n_, n_, std::move(entries_));
+  }
+
+ private:
+  Index n_;
+  std::vector<std::pair<Index, Index>> entries_;
+};
+
+}  // namespace
+
+SparsePattern grid2d(Index nx, Index ny, bool nine_point) {
+  TM_CHECK(nx >= 1 && ny >= 1, "grid2d: need positive dimensions");
+  const Index n = nx * ny;
+  SymmetricCooBuilder coo(n);
+  auto id = [&](Index x, Index y) { return y * nx + x; };
+  for (Index y = 0; y < ny; ++y) {
+    for (Index x = 0; x < nx; ++x) {
+      if (x + 1 < nx) {
+        coo.add(id(x, y), id(x + 1, y));
+      }
+      if (y + 1 < ny) {
+        coo.add(id(x, y), id(x, y + 1));
+      }
+      if (nine_point && x + 1 < nx && y + 1 < ny) {
+        coo.add(id(x, y), id(x + 1, y + 1));
+        coo.add(id(x + 1, y), id(x, y + 1));
+      }
+    }
+  }
+  return coo.build();
+}
+
+SparsePattern grid3d(Index nx, Index ny, Index nz, bool twentyseven_point) {
+  TM_CHECK(nx >= 1 && ny >= 1 && nz >= 1, "grid3d: need positive dimensions");
+  const Index n = nx * ny * nz;
+  SymmetricCooBuilder coo(n);
+  auto id = [&](Index x, Index y, Index z) { return (z * ny + y) * nx + x; };
+  for (Index z = 0; z < nz; ++z) {
+    for (Index y = 0; y < ny; ++y) {
+      for (Index x = 0; x < nx; ++x) {
+        if (!twentyseven_point) {
+          if (x + 1 < nx) coo.add(id(x, y, z), id(x + 1, y, z));
+          if (y + 1 < ny) coo.add(id(x, y, z), id(x, y + 1, z));
+          if (z + 1 < nz) coo.add(id(x, y, z), id(x, y, z + 1));
+        } else {
+          // All neighbours within the unit cube around (x,y,z); adding the
+          // lexicographically forward half covers each pair once.
+          for (Index dz = -1; dz <= 1; ++dz) {
+            for (Index dy = -1; dy <= 1; ++dy) {
+              for (Index dx = -1; dx <= 1; ++dx) {
+                if (dz < 0 || (dz == 0 && (dy < 0 || (dy == 0 && dx <= 0)))) {
+                  continue;  // backward or self
+                }
+                const Index x2 = x + dx;
+                const Index y2 = y + dy;
+                const Index z2 = z + dz;
+                if (x2 >= 0 && x2 < nx && y2 >= 0 && y2 < ny && z2 < nz) {
+                  coo.add(id(x, y, z), id(x2, y2, z2));
+                }
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+  return coo.build();
+}
+
+SparsePattern grid2d_with_holes(Index nx, Index ny, double hole_fraction,
+                                Prng& prng) {
+  TM_CHECK(nx >= 1 && ny >= 1, "grid2d_with_holes: need positive dimensions");
+  TM_CHECK(hole_fraction >= 0.0 && hole_fraction < 1.0,
+           "hole_fraction must be in [0,1)");
+  // Keep-mask over grid vertices; removed vertices keep their index (their
+  // row is just the diagonal) so the matrix dimension stays nx*ny — this
+  // mimics boundary-condition rows in FEM assembly.
+  const Index n = nx * ny;
+  std::vector<char> alive(static_cast<std::size_t>(n), 1);
+  for (Index i = 0; i < n; ++i) {
+    if (prng.bernoulli(hole_fraction)) {
+      alive[static_cast<std::size_t>(i)] = 0;
+    }
+  }
+  SymmetricCooBuilder coo(n);
+  auto id = [&](Index x, Index y) { return y * nx + x; };
+  auto ok = [&](Index v) { return alive[static_cast<std::size_t>(v)] == 1; };
+  for (Index y = 0; y < ny; ++y) {
+    for (Index x = 0; x < nx; ++x) {
+      const Index v = id(x, y);
+      if (!ok(v)) {
+        continue;
+      }
+      if (x + 1 < nx && ok(id(x + 1, y))) {
+        coo.add(v, id(x + 1, y));
+      }
+      if (y + 1 < ny && ok(id(x, y + 1))) {
+        coo.add(v, id(x, y + 1));
+      }
+    }
+  }
+  return coo.build();
+}
+
+SparsePattern random_symmetric(Index n, double avg_row_nnz, Prng& prng) {
+  TM_CHECK(n >= 1, "random_symmetric: need n >= 1");
+  TM_CHECK(avg_row_nnz >= 0.0, "random_symmetric: negative density");
+  SymmetricCooBuilder coo(n);
+  // Each undirected edge contributes 2 off-diagonal entries; to average
+  // `avg_row_nnz` off-diagonals per row we need n*avg/2 edges.
+  const auto edges =
+      static_cast<std::int64_t>(std::llround(n * avg_row_nnz / 2.0));
+  for (std::int64_t e = 0; e < edges; ++e) {
+    const Index i = static_cast<Index>(prng.uniform_int(0, n - 1));
+    const Index j = static_cast<Index>(prng.uniform_int(0, n - 1));
+    coo.add(i, j);  // self-pairs are dropped, duplicates merged later
+  }
+  return coo.build();
+}
+
+SparsePattern banded(Index n, Index bandwidth, double keep_probability,
+                     Prng& prng) {
+  TM_CHECK(n >= 1 && bandwidth >= 0, "banded: bad sizes");
+  TM_CHECK(keep_probability > 0.0 && keep_probability <= 1.0,
+           "banded: keep probability must be in (0,1]");
+  SymmetricCooBuilder coo(n);
+  for (Index i = 0; i < n; ++i) {
+    for (Index d = 1; d <= bandwidth && i + d < n; ++d) {
+      if (keep_probability >= 1.0 || prng.bernoulli(keep_probability)) {
+        coo.add(i, i + d);
+      }
+    }
+  }
+  return coo.build();
+}
+
+SparsePattern arrowhead(Index n, Index width) {
+  TM_CHECK(n >= 1 && width >= 1 && width <= n, "arrowhead: bad sizes");
+  SymmetricCooBuilder coo(n);
+  for (Index i = 0; i < width; ++i) {
+    for (Index j = i + 1; j < n; ++j) {
+      coo.add(i, j);
+    }
+  }
+  return coo.build();
+}
+
+SparsePattern block_tridiagonal(Index blocks, Index block_size,
+                                double coupling_density, Prng& prng) {
+  TM_CHECK(blocks >= 1 && block_size >= 1, "block_tridiagonal: bad sizes");
+  TM_CHECK(coupling_density >= 0.0 && coupling_density <= 1.0,
+           "block_tridiagonal: density must be in [0,1]");
+  const Index n = blocks * block_size;
+  SymmetricCooBuilder coo(n);
+  for (Index b = 0; b < blocks; ++b) {
+    const Index base = b * block_size;
+    // Dense diagonal block.
+    for (Index i = 0; i < block_size; ++i) {
+      for (Index j = i + 1; j < block_size; ++j) {
+        coo.add(base + i, base + j);
+      }
+    }
+    // Random coupling to the next block.
+    if (b + 1 < blocks) {
+      const Index next = base + block_size;
+      for (Index i = 0; i < block_size; ++i) {
+        for (Index j = 0; j < block_size; ++j) {
+          if (prng.bernoulli(coupling_density)) {
+            coo.add(base + i, next + j);
+          }
+        }
+      }
+    }
+  }
+  return coo.build();
+}
+
+}  // namespace treemem::gen

@@ -1,0 +1,42 @@
+// Synthetic sparse matrix generators — the corpus substrate standing in for
+// the University of Florida collection (see DESIGN.md §4). All generators
+// produce symmetric patterns with a full diagonal, ready for the
+// ordering → elimination tree → assembly tree pipeline.
+#pragma once
+
+#include "sparse/pattern.hpp"
+#include "support/prng.hpp"
+
+namespace treemem::gen {
+
+/// 5-point (stencil=false) or 9-point (stencil=true) 2-D grid Laplacian on
+/// an nx-by-ny grid; n = nx*ny.
+SparsePattern grid2d(Index nx, Index ny, bool nine_point = false);
+
+/// 7-point (false) or 27-point (true) 3-D grid Laplacian; n = nx*ny*nz.
+SparsePattern grid3d(Index nx, Index ny, Index nz, bool twentyseven_point = false);
+
+/// 2-D grid with a fraction of vertices deleted (random holes) — produces
+/// irregular, possibly disconnected problems like cut-out FEM domains.
+SparsePattern grid2d_with_holes(Index nx, Index ny, double hole_fraction,
+                                Prng& prng);
+
+/// Random symmetric pattern with ~`avg_row_nnz` off-diagonal entries per
+/// row (Erdős–Rényi style), plus the diagonal.
+SparsePattern random_symmetric(Index n, double avg_row_nnz, Prng& prng);
+
+/// Symmetric band matrix: |i-j| <= bandwidth entries present, with an
+/// optional keep probability (< 1 thins the band randomly).
+SparsePattern banded(Index n, Index bandwidth, double keep_probability,
+                     Prng& prng);
+
+/// Arrowhead: dense first `width` rows/columns plus a diagonal — elimination
+/// trees degenerate to near-chains under natural order.
+SparsePattern arrowhead(Index n, Index width);
+
+/// Block-tridiagonal pattern with `blocks` dense-ish diagonal blocks of size
+/// `block_size` and random coupling between neighbouring blocks.
+SparsePattern block_tridiagonal(Index blocks, Index block_size,
+                                double coupling_density, Prng& prng);
+
+}  // namespace treemem::gen

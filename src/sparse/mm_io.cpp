@@ -1,0 +1,139 @@
+#include "sparse/mm_io.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <sstream>
+
+namespace treemem {
+
+namespace {
+
+std::string to_lower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  return s;
+}
+
+}  // namespace
+
+SparsePattern read_matrix_market(std::istream& in) {
+  std::string line;
+  TM_CHECK(static_cast<bool>(std::getline(in, line)), "empty Matrix Market stream");
+
+  // Banner: %%MatrixMarket matrix coordinate <field> <symmetry>
+  std::istringstream banner(line);
+  std::string tag;
+  std::string object;
+  std::string format;
+  std::string field;
+  std::string symmetry;
+  banner >> tag >> object >> format >> field >> symmetry;
+  TM_CHECK(to_lower(tag) == "%%matrixmarket",
+           "not a Matrix Market file (banner: '" << tag << "')");
+  TM_CHECK(to_lower(object) == "matrix", "unsupported object '" << object << "'");
+  TM_CHECK(to_lower(format) == "coordinate",
+           "only coordinate format is supported, got '" << format << "'");
+  field = to_lower(field);
+  symmetry = to_lower(symmetry);
+  TM_CHECK(field == "real" || field == "integer" || field == "pattern" ||
+               field == "complex",
+           "unsupported field '" << field << "'");
+  TM_CHECK(symmetry == "general" || symmetry == "symmetric" ||
+               symmetry == "skew-symmetric" || symmetry == "hermitian",
+           "unsupported symmetry '" << symmetry << "'");
+
+  // Skip comments and blank lines, then read the size line.
+  while (std::getline(in, line)) {
+    const auto first = line.find_first_not_of(" \t\r");
+    if (first == std::string::npos || line[first] == '%') {
+      continue;
+    }
+    break;
+  }
+  std::int64_t rows = 0;
+  std::int64_t cols = 0;
+  std::int64_t entries = 0;
+  {
+    std::istringstream size_line(line);
+    TM_CHECK(static_cast<bool>(size_line >> rows >> cols >> entries),
+             "malformed size line: '" << line << "'");
+  }
+  TM_CHECK(rows >= 0 && cols >= 0 && entries >= 0,
+           "negative sizes in Matrix Market header");
+
+  const bool expand = symmetry != "general";
+  std::vector<std::pair<Index, Index>> coo;
+  coo.reserve(static_cast<std::size_t>(expand ? 2 * entries : entries));
+  for (std::int64_t k = 0; k < entries; ++k) {
+    std::int64_t r = 0;
+    std::int64_t c = 0;
+    TM_CHECK(static_cast<bool>(in >> r >> c), "truncated entry " << k);
+    if (field != "pattern") {
+      double value = 0;
+      TM_CHECK(static_cast<bool>(in >> value), "truncated value at entry " << k);
+      if (field == "complex") {
+        TM_CHECK(static_cast<bool>(in >> value),
+                 "truncated imaginary part at entry " << k);
+      }
+    }
+    TM_CHECK(r >= 1 && r <= rows && c >= 1 && c <= cols,
+             "entry (" << r << "," << c << ") outside " << rows << "x" << cols);
+    coo.emplace_back(static_cast<Index>(r - 1), static_cast<Index>(c - 1));
+    if (expand && r != c) {
+      coo.emplace_back(static_cast<Index>(c - 1), static_cast<Index>(r - 1));
+    }
+  }
+  return SparsePattern::from_coo(static_cast<Index>(rows),
+                                 static_cast<Index>(cols), std::move(coo));
+}
+
+SparsePattern read_matrix_market_file(const std::string& path) {
+  std::ifstream in(path);
+  TM_CHECK(in.good(), "cannot open " << path);
+  return read_matrix_market(in);
+}
+
+SparsePattern read_matrix_market_string(const std::string& text) {
+  std::istringstream iss(text);
+  return read_matrix_market(iss);
+}
+
+void write_matrix_market(std::ostream& out, const SparsePattern& pattern,
+                         bool symmetric_lower) {
+  if (symmetric_lower) {
+    TM_CHECK(pattern.is_symmetric(),
+             "symmetric output requested for a non-symmetric pattern");
+  }
+  out << "%%MatrixMarket matrix coordinate pattern "
+      << (symmetric_lower ? "symmetric" : "general") << "\n";
+  out << "% written by treemem\n";
+
+  std::int64_t count = 0;
+  for (Index j = 0; j < pattern.cols(); ++j) {
+    for (const Index r : pattern.column(j)) {
+      if (!symmetric_lower || r >= j) {
+        ++count;
+      }
+    }
+  }
+  out << pattern.rows() << ' ' << pattern.cols() << ' ' << count << "\n";
+  for (Index j = 0; j < pattern.cols(); ++j) {
+    for (const Index r : pattern.column(j)) {
+      if (!symmetric_lower || r >= j) {
+        out << (r + 1) << ' ' << (j + 1) << "\n";
+      }
+    }
+  }
+}
+
+void write_matrix_market_file(const std::string& path,
+                              const SparsePattern& pattern,
+                              bool symmetric_lower) {
+  std::ofstream out(path);
+  TM_CHECK(out.good(), "cannot open " << path << " for writing");
+  write_matrix_market(out, pattern, symmetric_lower);
+  TM_CHECK(out.good(), "write to " << path << " failed");
+}
+
+}  // namespace treemem

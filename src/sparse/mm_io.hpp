@@ -1,0 +1,32 @@
+// Matrix Market I/O for sparse patterns.
+//
+// The paper's data set is the University of Florida (SuiteSparse) matrix
+// collection, distributed in Matrix Market coordinate format. The reader
+// accepts real / integer / complex / pattern fields (values are discarded —
+// only the structure matters here) and expands symmetric / skew-symmetric /
+// hermitian storage. The writer emits `pattern general` or
+// `pattern symmetric` coordinate files, so a corpus can be exported and
+// re-read.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "sparse/pattern.hpp"
+
+namespace treemem {
+
+/// Parses a Matrix Market stream. Throws treemem::Error on malformed input.
+SparsePattern read_matrix_market(std::istream& in);
+SparsePattern read_matrix_market_file(const std::string& path);
+SparsePattern read_matrix_market_string(const std::string& text);
+
+/// Writes the pattern in coordinate format. When `symmetric_lower` is true
+/// the pattern must be symmetric and only the lower triangle is stored.
+void write_matrix_market(std::ostream& out, const SparsePattern& pattern,
+                         bool symmetric_lower = false);
+void write_matrix_market_file(const std::string& path,
+                              const SparsePattern& pattern,
+                              bool symmetric_lower = false);
+
+}  // namespace treemem

@@ -1,0 +1,150 @@
+#include "support/ascii_plot.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <limits>
+#include <sstream>
+
+#include "support/check.hpp"
+
+namespace treemem {
+
+namespace {
+
+constexpr char kMarkers[] = {'*', 'o', '+', 'x', '#', '@', '%', '&'};
+
+struct Range {
+  double lo = std::numeric_limits<double>::infinity();
+  double hi = -std::numeric_limits<double>::infinity();
+
+  void include(double v) {
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  bool valid() const { return lo <= hi; }
+  double span() const { return hi > lo ? hi - lo : 1.0; }
+};
+
+}  // namespace
+
+std::string render_ascii_plot(const std::vector<PlotSeries>& series,
+                              const PlotOptions& options) {
+  TM_CHECK(options.width >= 16 && options.height >= 4,
+           "plot area too small: " << options.width << "x" << options.height);
+
+  Range xr;
+  Range yr;
+  bool any = false;
+  for (const auto& s : series) {
+    TM_CHECK(s.x.size() == s.y.size(),
+             "series '" << s.label << "' has mismatched x/y sizes");
+    for (std::size_t i = 0; i < s.x.size(); ++i) {
+      xr.include(s.x[i]);
+      yr.include(s.y[i]);
+      any = true;
+    }
+  }
+  if (!any) {
+    return "(empty plot)\n";
+  }
+
+  const int w = options.width;
+  const int h = options.height;
+  std::vector<std::string> grid(static_cast<std::size_t>(h),
+                                std::string(static_cast<std::size_t>(w), ' '));
+
+  auto to_col = [&](double x) {
+    const double t = (x - xr.lo) / xr.span();
+    return std::clamp(static_cast<int>(std::lround(t * (w - 1))), 0, w - 1);
+  };
+  auto to_row = [&](double y) {
+    const double t = (y - yr.lo) / yr.span();
+    // row 0 is the top of the plot
+    return std::clamp(h - 1 - static_cast<int>(std::lround(t * (h - 1))), 0,
+                      h - 1);
+  };
+
+  for (std::size_t si = 0; si < series.size(); ++si) {
+    const auto& s = series[si];
+    if (s.x.empty()) {
+      continue;
+    }
+    const char marker = kMarkers[si % (sizeof(kMarkers) / sizeof(kMarkers[0]))];
+    int prev_col = -1;
+    int prev_row = -1;
+    for (std::size_t i = 0; i < s.x.size(); ++i) {
+      const int col = to_col(s.x[i]);
+      const int row = to_row(s.y[i]);
+      if (prev_col >= 0) {
+        if (options.step) {
+          // horizontal run at the previous level, then a vertical jump
+          for (int c = prev_col; c <= col; ++c) {
+            grid[static_cast<std::size_t>(prev_row)][static_cast<std::size_t>(c)] = marker;
+          }
+          const int lo = std::min(prev_row, row);
+          const int hi = std::max(prev_row, row);
+          for (int r = lo; r <= hi; ++r) {
+            grid[static_cast<std::size_t>(r)][static_cast<std::size_t>(col)] = marker;
+          }
+        } else {
+          // naive line rasterization
+          const int steps = std::max(std::abs(col - prev_col),
+                                     std::abs(row - prev_row));
+          for (int k = 0; k <= steps; ++k) {
+            const double t = steps == 0 ? 0.0 : static_cast<double>(k) / steps;
+            const int c = prev_col + static_cast<int>(std::lround(t * (col - prev_col)));
+            const int r = prev_row + static_cast<int>(std::lround(t * (row - prev_row)));
+            grid[static_cast<std::size_t>(r)][static_cast<std::size_t>(c)] = marker;
+          }
+        }
+      } else {
+        grid[static_cast<std::size_t>(row)][static_cast<std::size_t>(col)] = marker;
+      }
+      prev_col = col;
+      prev_row = row;
+    }
+  }
+
+  std::ostringstream oss;
+  oss << std::setprecision(4);
+  oss << "  " << options.y_label << "\n";
+  for (int r = 0; r < h; ++r) {
+    if (r == 0) {
+      oss << std::setw(8) << yr.hi << " |";
+    } else if (r == h - 1) {
+      oss << std::setw(8) << yr.lo << " |";
+    } else {
+      oss << std::string(8, ' ') << " |";
+    }
+    oss << grid[static_cast<std::size_t>(r)] << "\n";
+  }
+  oss << std::string(9, ' ') << '+' << std::string(static_cast<std::size_t>(w), '-') << "\n";
+  {
+    std::ostringstream lo_label;
+    lo_label << std::setprecision(4) << xr.lo;
+    std::ostringstream hi_label;
+    hi_label << std::setprecision(4) << xr.hi;
+    std::string axis(static_cast<std::size_t>(w) + 10, ' ');
+    const std::string lo_str = lo_label.str();
+    std::string hi_str = hi_label.str();
+    axis.replace(10, lo_str.size(), lo_str);
+    const std::size_t hi_pos =
+        std::max<std::size_t>(10 + lo_str.size() + 2,
+                              10 + static_cast<std::size_t>(w) - hi_str.size());
+    axis.replace(hi_pos, hi_str.size(), hi_str);
+    oss << axis << "   (" << options.x_label << ")\n";
+  }
+  oss << "  legend:";
+  for (std::size_t si = 0; si < series.size(); ++si) {
+    if (series[si].x.empty()) {
+      continue;
+    }
+    oss << "  [" << kMarkers[si % (sizeof(kMarkers) / sizeof(kMarkers[0]))]
+        << "] " << series[si].label;
+  }
+  oss << "\n";
+  return oss.str();
+}
+
+}  // namespace treemem

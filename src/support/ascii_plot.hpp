@@ -1,0 +1,31 @@
+// ASCII rendering of x/y series — used to print performance-profile figures
+// (Figs. 5–9 of the paper) straight to the terminal so the benchmark
+// binaries are self-contained. The raw data is also written to CSV by the
+// harness for external plotting.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace treemem {
+
+struct PlotSeries {
+  std::string label;
+  std::vector<double> x;
+  std::vector<double> y;
+};
+
+struct PlotOptions {
+  int width = 72;    ///< plot area width in characters
+  int height = 20;   ///< plot area height in characters
+  std::string x_label = "x";
+  std::string y_label = "y";
+  bool step = false;  ///< render as a step function (right-continuous)
+};
+
+/// Renders the series into a character grid with per-series markers and a
+/// legend. Series with no points are skipped.
+std::string render_ascii_plot(const std::vector<PlotSeries>& series,
+                              const PlotOptions& options);
+
+}  // namespace treemem

@@ -1,0 +1,15 @@
+#include "support/check.hpp"
+
+namespace treemem::detail {
+
+void throw_check_failure(const char* expr, const char* file, int line,
+                         const std::string& message) {
+  std::ostringstream oss;
+  oss << "treemem check failed: (" << expr << ") at " << file << ":" << line;
+  if (!message.empty()) {
+    oss << " — " << message;
+  }
+  throw Error(oss.str());
+}
+
+}  // namespace treemem::detail

@@ -1,0 +1,46 @@
+// Checked assertions and error reporting for the treemem library.
+//
+// TM_CHECK is used for public API precondition validation and stays enabled
+// in all build types: the algorithms in this library are the product, so a
+// silent precondition violation is never acceptable. TM_ASSERT guards
+// internal invariants and also stays on; its cost is negligible next to the
+// O(p log p)+ algorithms it protects.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace treemem {
+
+/// Exception thrown when a TM_CHECK / TM_ASSERT condition fails.
+class Error : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+namespace detail {
+
+[[noreturn]] void throw_check_failure(const char* expr, const char* file,
+                                      int line, const std::string& message);
+
+}  // namespace detail
+
+}  // namespace treemem
+
+/// Validates a public-API precondition; throws treemem::Error on failure.
+/// The second argument is a stream expression, e.g.
+///   TM_CHECK(i < n, "node " << i << " out of range [0," << n << ")");
+#define TM_CHECK(cond, msg)                                              \
+  do {                                                                   \
+    if (!(cond)) [[unlikely]] {                                          \
+      std::ostringstream tm_oss_;                                        \
+      tm_oss_ << msg; /* NOLINT */                                       \
+      ::treemem::detail::throw_check_failure(#cond, __FILE__, __LINE__,  \
+                                             tm_oss_.str());             \
+    }                                                                    \
+  } while (0)
+
+/// Internal invariant check; same behaviour as TM_CHECK, kept separate so
+/// call sites document intent (bug in the library vs. bug in the caller).
+#define TM_ASSERT(cond, msg) TM_CHECK(cond, msg)

@@ -1,0 +1,59 @@
+#include "support/csv.hpp"
+
+#include <iomanip>
+#include <sstream>
+
+#include "support/check.hpp"
+
+namespace treemem {
+
+CsvWriter::CsvWriter(const std::string& path,
+                     const std::vector<std::string>& header)
+    : path_(path), out_(path), arity_(header.size()) {
+  TM_CHECK(out_.good(), "cannot open CSV file for writing: " << path);
+  TM_CHECK(!header.empty(), "CSV header must not be empty");
+  write_row(header);
+}
+
+void CsvWriter::write_row(const std::vector<std::string>& cells) {
+  TM_CHECK(cells.size() == arity_, "CSV row arity " << cells.size()
+                                                    << " != header arity "
+                                                    << arity_);
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i > 0) {
+      out_ << ',';
+    }
+    out_ << escape(cells[i]);
+  }
+  out_ << '\n';
+  TM_CHECK(out_.good(), "CSV write failed: " << path_);
+}
+
+std::string CsvWriter::cell(double value, int precision) {
+  std::ostringstream oss;
+  oss << std::setprecision(precision) << value;
+  return oss.str();
+}
+
+std::string CsvWriter::cell(long long value) { return std::to_string(value); }
+
+std::string CsvWriter::cell(unsigned long long value) {
+  return std::to_string(value);
+}
+
+std::string CsvWriter::escape(const std::string& raw) {
+  if (raw.find_first_of(",\"\n") == std::string::npos) {
+    return raw;
+  }
+  std::string quoted = "\"";
+  for (char c : raw) {
+    if (c == '"') {
+      quoted += '"';
+    }
+    quoted += c;
+  }
+  quoted += '"';
+  return quoted;
+}
+
+}  // namespace treemem

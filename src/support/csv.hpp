@@ -1,0 +1,35 @@
+// Tiny CSV writer used by the benchmark harness to persist raw experiment
+// data next to the human-readable console output (one CSV per table/figure,
+// so plots can be regenerated offline with any tool).
+#pragma once
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace treemem {
+
+class CsvWriter {
+ public:
+  /// Opens `path` for writing and emits the header row. Throws on I/O error.
+  CsvWriter(const std::string& path, const std::vector<std::string>& header);
+
+  /// Writes one row; must have the same arity as the header.
+  void write_row(const std::vector<std::string>& cells);
+
+  /// Formats helpers for cells.
+  static std::string cell(double value, int precision = 6);
+  static std::string cell(long long value);
+  static std::string cell(unsigned long long value);
+
+  const std::string& path() const { return path_; }
+
+ private:
+  static std::string escape(const std::string& raw);
+
+  std::string path_;
+  std::ofstream out_;
+  std::size_t arity_;
+};
+
+}  // namespace treemem

@@ -1,0 +1,31 @@
+// Minimal work-stealing-free parallel loop for the experiment harness.
+//
+// The traversal algorithms themselves are inherently sequential (they build
+// one global order), but the evaluation runs hundreds of independent
+// (tree, algorithm, memory-budget) cases — an embarrassingly parallel outer
+// loop. This helper distributes loop indices over a pool of std::threads
+// with dynamic (atomic counter) scheduling, because per-case costs vary by
+// orders of magnitude across the corpus.
+//
+// Determinism: the body must write its results into per-index slots
+// (e.g. results[i]); the helper guarantees each index is executed exactly
+// once but not in any particular order.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+namespace treemem {
+
+/// Executes body(i) for every i in [0, count). If num_threads <= 1 (or the
+/// machine is single-core) the loop runs inline. Exceptions thrown by the
+/// body are captured and the first one is rethrown after all threads join.
+void parallel_for(std::size_t count, const std::function<void(std::size_t)>& body,
+                  unsigned num_threads = 0);
+
+/// Number of worker threads parallel_for would use for `num_threads == 0`
+/// (hardware concurrency, overridable via the TREEMEM_THREADS environment
+/// variable — handy for reproducible timing runs).
+unsigned default_thread_count();
+
+}  // namespace treemem

@@ -1,0 +1,103 @@
+// Deterministic pseudo-random number generation.
+//
+// All randomness in treemem (tree generators, matrix generators, experiment
+// corpora) flows through this xoshiro256** generator so that tests and
+// benchmarks are reproducible bit-for-bit across platforms. <random>
+// distributions are deliberately avoided: their output is implementation
+// defined, which would make golden tests non-portable.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "support/check.hpp"
+
+namespace treemem {
+
+/// xoshiro256** by Blackman & Vigna (public domain reference algorithm),
+/// seeded through splitmix64. Fast, 256-bit state, passes BigCrush.
+class Prng {
+ public:
+  explicit Prng(std::uint64_t seed) { reseed(seed); }
+
+  void reseed(std::uint64_t seed) {
+    // splitmix64 expansion of the seed into the four state words.
+    std::uint64_t x = seed;
+    for (auto& word : state_) {
+      x += 0x9e3779b97f4a7c15ULL;
+      std::uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      word = z ^ (z >> 31);
+    }
+  }
+
+  /// Next raw 64-bit value.
+  std::uint64_t next_u64() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) {
+    TM_CHECK(lo <= hi, "uniform_int: empty range [" << lo << "," << hi << "]");
+    const std::uint64_t span = static_cast<std::uint64_t>(hi - lo) + 1;
+    if (span == 0) {  // full 64-bit range
+      return static_cast<std::int64_t>(next_u64());
+    }
+    // Debiased modulo (Lemire-style rejection kept simple: rejection loop).
+    const std::uint64_t limit = UINT64_MAX - UINT64_MAX % span;
+    std::uint64_t value = next_u64();
+    while (value >= limit) {
+      value = next_u64();
+    }
+    return lo + static_cast<std::int64_t>(value % span);
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform_real() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double uniform_real(double lo, double hi) {
+    return lo + (hi - lo) * uniform_real();
+  }
+
+  /// Bernoulli trial with success probability p.
+  bool bernoulli(double p) { return uniform_real() < p; }
+
+  /// Fisher–Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& items) {
+    for (std::size_t i = items.size(); i > 1; --i) {
+      const auto j = static_cast<std::size_t>(
+          uniform_int(0, static_cast<std::int64_t>(i) - 1));
+      std::swap(items[i - 1], items[j]);
+    }
+  }
+
+  /// Uniformly chosen element of a non-empty vector.
+  template <typename T>
+  const T& pick(const std::vector<T>& items) {
+    TM_CHECK(!items.empty(), "pick: empty vector");
+    return items[static_cast<std::size_t>(
+        uniform_int(0, static_cast<std::int64_t>(items.size()) - 1))];
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4]{};
+};
+
+}  // namespace treemem

@@ -1,0 +1,61 @@
+#include "support/stack_runner.hpp"
+
+#include <pthread.h>
+
+#include <exception>
+#include <system_error>
+
+#include "support/check.hpp"
+
+namespace treemem {
+
+namespace {
+
+struct ThreadContext {
+  const std::function<void()>* body = nullptr;
+  std::exception_ptr error;
+};
+
+extern "C" void* stack_runner_entry(void* arg) {
+  auto* context = static_cast<ThreadContext*>(arg);
+  try {
+    (*context->body)();
+  } catch (...) {
+    context->error = std::current_exception();
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+void run_with_stack(std::size_t stack_bytes, const std::function<void()>& body) {
+  TM_CHECK(stack_bytes >= static_cast<std::size_t>(PTHREAD_STACK_MIN),
+           "stack size " << stack_bytes << " below PTHREAD_STACK_MIN");
+
+  pthread_attr_t attr;
+  int rc = pthread_attr_init(&attr);
+  TM_CHECK(rc == 0, "pthread_attr_init failed: " << rc);
+  rc = pthread_attr_setstacksize(&attr, stack_bytes);
+  if (rc != 0) {
+    pthread_attr_destroy(&attr);
+    TM_CHECK(false, "pthread_attr_setstacksize(" << stack_bytes
+                                                 << ") failed: " << rc);
+  }
+
+  ThreadContext context;
+  context.body = &body;
+
+  pthread_t thread;
+  rc = pthread_create(&thread, &attr, stack_runner_entry, &context);
+  pthread_attr_destroy(&attr);
+  TM_CHECK(rc == 0, "pthread_create failed: " << rc);
+
+  rc = pthread_join(thread, nullptr);
+  TM_CHECK(rc == 0, "pthread_join failed: " << rc);
+
+  if (context.error) {
+    std::rethrow_exception(context.error);
+  }
+}
+
+}  // namespace treemem

@@ -1,0 +1,32 @@
+// Runs a callable on a thread with an explicitly sized stack.
+//
+// Several algorithms in this library (MinMem's Explore, recursive tree
+// constructions) recurse to a depth equal to the tree height. Assembly trees
+// are shallow after amalgamation, but degenerate inputs (chains with 10^6
+// nodes) are legal and must not crash. Rather than contorting every
+// algorithm into an explicit-stack form, deep entry points run their body on
+// a dedicated pthread whose stack is large enough for any input we accept.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+namespace treemem {
+
+/// Default stack size for deep recursions: 512 MiB of *reserved* address
+/// space (committed lazily by the OS, so the cost is address space only).
+inline constexpr std::size_t kBigStackBytes = std::size_t{512} << 20;
+
+/// Executes `body` on a freshly created thread with `stack_bytes` of stack,
+/// blocks until it finishes, and rethrows any exception it threw.
+void run_with_stack(std::size_t stack_bytes, const std::function<void()>& body);
+
+/// Convenience wrapper returning a value from the big-stack thread.
+template <typename T>
+T run_with_stack_result(std::size_t stack_bytes, const std::function<T()>& body) {
+  T result{};
+  run_with_stack(stack_bytes, [&]() { result = body(); });
+  return result;
+}
+
+}  // namespace treemem

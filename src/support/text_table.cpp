@@ -1,0 +1,53 @@
+#include "support/text_table.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "support/check.hpp"
+
+namespace treemem {
+
+TextTable::TextTable(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  TM_CHECK(!header_.empty(), "TextTable: empty header");
+}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  TM_CHECK(cells.size() == header_.size(),
+           "TextTable: row arity " << cells.size() << " != header arity "
+                                   << header_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string TextTable::to_string() const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    width[c] = header_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+
+  std::ostringstream oss;
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      oss << (c == 0 ? "| " : " | ");
+      oss << row[c] << std::string(width[c] - row[c].size(), ' ');
+    }
+    oss << " |\n";
+  };
+
+  emit_row(header_);
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    oss << (c == 0 ? "|-" : "-|-") << std::string(width[c], '-');
+  }
+  oss << "-|\n";
+  for (const auto& row : rows_) {
+    emit_row(row);
+  }
+  return oss.str();
+}
+
+}  // namespace treemem

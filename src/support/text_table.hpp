@@ -1,0 +1,24 @@
+// Aligned plain-text tables for console output of the benchmark harness
+// (Tables I & II of the paper, plus per-experiment summaries).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace treemem {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Renders the table with a header underline and column padding.
+  std::string to_string() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace treemem

@@ -1,0 +1,27 @@
+// Monotonic wall-clock timer used by the runtime experiments (Fig. 6).
+#pragma once
+
+#include <chrono>
+
+namespace treemem {
+
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  void restart() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last restart().
+  double elapsed_s() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double elapsed_ms() const { return elapsed_s() * 1e3; }
+  double elapsed_us() const { return elapsed_s() * 1e6; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace treemem

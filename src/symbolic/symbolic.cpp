@@ -1,0 +1,164 @@
+#include "symbolic/symbolic.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace treemem {
+
+std::vector<Index> elimination_tree(const SparsePattern& a) {
+  TM_CHECK(a.is_square(), "elimination_tree: pattern must be square");
+  const Index n = a.cols();
+  std::vector<Index> parent(static_cast<std::size_t>(n), -1);
+  std::vector<Index> ancestor(static_cast<std::size_t>(n), -1);
+
+  for (Index j = 0; j < n; ++j) {
+    for (const Index i : a.column(j)) {
+      // Walk from each below-diagonal entry's row... in column terms: for
+      // entry (i, j) with i < j (upper part = row i of the lower part),
+      // climb from i toward j, compressing paths.
+      Index k = i;
+      if (k >= j) {
+        continue;
+      }
+      while (k != -1 && k != j) {
+        const Index next = ancestor[static_cast<std::size_t>(k)];
+        ancestor[static_cast<std::size_t>(k)] = j;  // path compression
+        if (next == -1) {
+          parent[static_cast<std::size_t>(k)] = j;
+        }
+        k = next;
+      }
+    }
+  }
+  return parent;
+}
+
+std::vector<Index> etree_postorder(const std::vector<Index>& parent) {
+  const Index n = static_cast<Index>(parent.size());
+  // Build child lists (increasing index order for determinism).
+  std::vector<Index> head(static_cast<std::size_t>(n), -1);
+  std::vector<Index> next(static_cast<std::size_t>(n), -1);
+  std::vector<Index> roots;
+  for (Index v = n; v-- > 0;) {  // reverse so lists come out ascending
+    const Index p = parent[static_cast<std::size_t>(v)];
+    if (p == -1) {
+      roots.push_back(v);
+    } else {
+      TM_CHECK(p >= 0 && p < n, "etree_postorder: bad parent " << p);
+      next[static_cast<std::size_t>(v)] = head[static_cast<std::size_t>(p)];
+      head[static_cast<std::size_t>(p)] = v;
+    }
+  }
+  std::reverse(roots.begin(), roots.end());  // ascending root order
+
+  std::vector<Index> post;
+  post.reserve(static_cast<std::size_t>(n));
+  std::vector<Index> stack;
+  std::vector<Index> child_cursor(static_cast<std::size_t>(n));
+  for (const Index r : roots) {
+    stack.push_back(r);
+    child_cursor[static_cast<std::size_t>(r)] = head[static_cast<std::size_t>(r)];
+    while (!stack.empty()) {
+      const Index v = stack.back();
+      const Index c = child_cursor[static_cast<std::size_t>(v)];
+      if (c == -1) {
+        post.push_back(v);
+        stack.pop_back();
+      } else {
+        child_cursor[static_cast<std::size_t>(v)] =
+            next[static_cast<std::size_t>(c)];
+        stack.push_back(c);
+        child_cursor[static_cast<std::size_t>(c)] =
+            head[static_cast<std::size_t>(c)];
+      }
+    }
+  }
+  TM_CHECK(post.size() == static_cast<std::size_t>(n),
+           "etree_postorder: forest traversal lost nodes");
+  return post;
+}
+
+std::vector<Index> column_counts(const SparsePattern& a,
+                                 const std::vector<Index>& parent) {
+  TM_CHECK(a.is_square(), "column_counts: pattern must be square");
+  const Index n = a.cols();
+  TM_CHECK(parent.size() == static_cast<std::size_t>(n),
+           "column_counts: parent array size mismatch");
+  std::vector<Index> counts(static_cast<std::size_t>(n), 1);  // diagonal
+  std::vector<Index> mark(static_cast<std::size_t>(n), -1);
+
+  // Row subtrees: nonzeros of row i of L are exactly the nodes on etree
+  // paths from each j (A_ij != 0, j < i) up toward i. Each step of the walk
+  // visits a distinct L-entry, so total work is O(nnz(L)).
+  for (Index i = 0; i < n; ++i) {
+    mark[static_cast<std::size_t>(i)] = i;
+    for (const Index j : a.column(i)) {
+      if (j >= i) {
+        continue;
+      }
+      Index k = j;
+      while (mark[static_cast<std::size_t>(k)] != i) {
+        mark[static_cast<std::size_t>(k)] = i;
+        ++counts[static_cast<std::size_t>(k)];  // L(i, k) != 0
+        k = parent[static_cast<std::size_t>(k)];
+        TM_ASSERT(k != -1, "row subtree escaped the forest at row " << i);
+      }
+    }
+  }
+  return counts;
+}
+
+SparsePattern symbolic_cholesky(const SparsePattern& a) {
+  TM_CHECK(a.is_square(), "symbolic_cholesky: pattern must be square");
+  const Index n = a.cols();
+  const std::vector<Index> parent = elimination_tree(a);
+
+  // L(:,j) = lower part of A(:,j)  ∪  ∪_{c : parent(c)=j} (L(:,c) \ {c}).
+  std::vector<std::vector<Index>> cols(static_cast<std::size_t>(n));
+  std::vector<std::vector<Index>> children(static_cast<std::size_t>(n));
+  for (Index j = 0; j < n; ++j) {
+    if (parent[static_cast<std::size_t>(j)] != -1) {
+      children[static_cast<std::size_t>(parent[static_cast<std::size_t>(j)])]
+          .push_back(j);
+    }
+  }
+  std::vector<Index> merged;
+  for (const Index j : etree_postorder(parent)) {
+    auto& col = cols[static_cast<std::size_t>(j)];
+    for (const Index i : a.column(j)) {
+      if (i >= j) {
+        col.push_back(i);
+      }
+    }
+    std::sort(col.begin(), col.end());
+    col.erase(std::unique(col.begin(), col.end()), col.end());
+    for (const Index c : children[static_cast<std::size_t>(j)]) {
+      const auto& child_col = cols[static_cast<std::size_t>(c)];
+      merged.clear();
+      // Child entries below its diagonal, minus the child itself.
+      std::set_union(col.begin(), col.end(), child_col.begin() + 1,
+                     child_col.end(), std::back_inserter(merged));
+      col = merged;
+    }
+    TM_ASSERT(!col.empty() && col.front() == j,
+              "column " << j << " must start at its diagonal");
+  }
+
+  std::vector<std::int64_t> col_ptr(static_cast<std::size_t>(n) + 1, 0);
+  std::vector<Index> row_idx;
+  for (Index j = 0; j < n; ++j) {
+    row_idx.insert(row_idx.end(), cols[static_cast<std::size_t>(j)].begin(),
+                   cols[static_cast<std::size_t>(j)].end());
+    col_ptr[static_cast<std::size_t>(j) + 1] =
+        static_cast<std::int64_t>(row_idx.size());
+  }
+  return SparsePattern(n, n, std::move(col_ptr), std::move(row_idx));
+}
+
+std::int64_t factor_nnz(const SparsePattern& a) {
+  const std::vector<Index> parent = elimination_tree(a);
+  const std::vector<Index> counts = column_counts(a, parent);
+  return std::accumulate(counts.begin(), counts.end(), std::int64_t{0});
+}
+
+}  // namespace treemem

@@ -1,0 +1,189 @@
+#include "tree/generators.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace treemem::gen {
+
+Tree chain(NodeId p, Weight file, Weight work) {
+  TM_CHECK(p >= 1, "chain: need at least one node");
+  TreeBuilder builder;
+  NodeId prev = builder.add_root(file, work);
+  for (NodeId i = 1; i < p; ++i) {
+    prev = builder.add_child(prev, file, work);
+  }
+  return std::move(builder).build();
+}
+
+Tree star(NodeId branches, Weight leaf_file, Weight work) {
+  TM_CHECK(branches >= 0, "star: negative branch count");
+  TreeBuilder builder;
+  const NodeId root = builder.add_root(0, work);
+  for (NodeId b = 0; b < branches; ++b) {
+    builder.add_child(root, leaf_file, work);
+  }
+  return std::move(builder).build();
+}
+
+Tree complete_kary(NodeId arity, NodeId levels, Weight file, Weight work) {
+  TM_CHECK(arity >= 1, "complete_kary: arity must be >= 1");
+  TM_CHECK(levels >= 1, "complete_kary: need at least one level");
+  TreeBuilder builder;
+  std::vector<NodeId> frontier{builder.add_root(file, work)};
+  for (NodeId level = 1; level < levels; ++level) {
+    std::vector<NodeId> next;
+    next.reserve(frontier.size() * static_cast<std::size_t>(arity));
+    for (const NodeId u : frontier) {
+      for (NodeId k = 0; k < arity; ++k) {
+        next.push_back(builder.add_child(u, file, work));
+      }
+    }
+    frontier = std::move(next);
+  }
+  return std::move(builder).build();
+}
+
+Tree caterpillar(NodeId spine, NodeId legs, Weight spine_file,
+                 Weight leg_file, Weight work) {
+  TM_CHECK(spine >= 1, "caterpillar: need at least one spine node");
+  TM_CHECK(legs >= 0, "caterpillar: negative leg count");
+  TreeBuilder builder;
+  NodeId prev = builder.add_root(spine_file, work);
+  for (NodeId s = 0; s < spine; ++s) {
+    for (NodeId l = 0; l < legs; ++l) {
+      builder.add_child(prev, leg_file, work);
+    }
+    if (s + 1 < spine) {
+      prev = builder.add_child(prev, spine_file, work);
+    }
+  }
+  return std::move(builder).build();
+}
+
+Tree harpoon(NodeId branches, Weight big, Weight eps) {
+  return iterated_harpoon(branches, 1, big, eps);
+}
+
+Tree iterated_harpoon(NodeId branches, NodeId levels, Weight big, Weight eps) {
+  TM_CHECK(branches >= 2, "harpoon: need at least two branches");
+  TM_CHECK(levels >= 1, "harpoon: need at least one level");
+  TM_CHECK(big > 0 && eps > 0, "harpoon: sizes must be positive");
+  TM_CHECK(big % branches == 0,
+           "harpoon: big=" << big << " must be divisible by branches="
+                           << branches);
+  // Each level grows, below every attachment point, b branches
+  //   u (f = big/b)  ->  v (f = eps)  ->  { w (f = big, leaf),
+  //                                         next-level root (f = eps) }.
+  // Keeping the heavy leaf w as a *sibling* of the nested copy is what
+  // makes the construction work: a postorder descending into a branch must
+  // hold the other (b-1) files of size big/b across every level, while the
+  // optimal traversal first drains all u's of a level (holding only eps
+  // files) and consumes each heavy leaf immediately after its v. The
+  // next-level link file must itself cost eps — a free link would let the
+  // optimal traversal defer whole sub-harpoons at no cost and the per-level
+  // (b-1)*eps term of Theorem 1 would vanish.
+  TreeBuilder builder;
+  std::vector<NodeId> frontier{builder.add_root(0, 0)};
+  const Weight slice = big / branches;
+  for (NodeId level = 1; level <= levels; ++level) {
+    std::vector<NodeId> next_frontier;
+    for (const NodeId attach : frontier) {
+      for (NodeId b = 0; b < branches; ++b) {
+        const NodeId u = builder.add_child(attach, slice, 0);
+        const NodeId v = builder.add_child(u, eps, 0);
+        builder.add_child(v, big, 0);  // heavy leaf w
+        if (level < levels) {
+          next_frontier.push_back(builder.add_child(v, eps, 0));
+        }
+      }
+    }
+    frontier = std::move(next_frontier);
+  }
+  return std::move(builder).build();
+}
+
+Tree two_partition_gadget(const std::vector<Weight>& values) {
+  TM_CHECK(!values.empty(), "2-partition gadget: empty instance");
+  Weight sum = 0;
+  for (const Weight a : values) {
+    TM_CHECK(a > 0, "2-partition gadget: values must be positive, got " << a);
+    sum += a;
+  }
+  TM_CHECK(sum % 2 == 0,
+           "2-partition gadget: sum " << sum << " must be even");
+
+  TreeBuilder builder;
+  const NodeId root = builder.add_root(0, 0);  // T_in
+  for (const Weight a : values) {
+    const NodeId ti = builder.add_child(root, a, 0);  // T_i
+    builder.add_child(ti, sum, 0);                    // Tout_i
+  }
+  const NodeId tbig = builder.add_child(root, sum, 0);  // T_big
+  builder.add_child(tbig, sum / 2, 0);                  // Tout_big
+  return std::move(builder).build();
+}
+
+Weight two_partition_gadget_memory(const std::vector<Weight>& values) {
+  const Weight sum = std::accumulate(values.begin(), values.end(), Weight{0});
+  return 2 * sum;
+}
+
+Weight two_partition_gadget_io_bound(const std::vector<Weight>& values) {
+  const Weight sum = std::accumulate(values.begin(), values.end(), Weight{0});
+  return sum / 2;
+}
+
+Tree random_tree(NodeId p, const RandomTreeOptions& options, Prng& prng) {
+  TM_CHECK(p >= 1, "random_tree: need at least one node");
+  TM_CHECK(options.min_file >= 0 && options.min_file <= options.max_file,
+           "random_tree: bad file range");
+  TM_CHECK(options.min_work <= options.max_work, "random_tree: bad work range");
+  TM_CHECK(options.chain_bias >= 0.0 && options.chain_bias <= 1.0,
+           "random_tree: chain_bias must be in [0,1]");
+
+  std::vector<NodeId> parent(static_cast<std::size_t>(p), kNoNode);
+  std::vector<Weight> file(static_cast<std::size_t>(p), 0);
+  std::vector<Weight> work(static_cast<std::size_t>(p), 0);
+  for (NodeId i = 1; i < p; ++i) {
+    NodeId par;
+    if (prng.bernoulli(options.chain_bias)) {
+      par = i - 1;
+    } else {
+      par = static_cast<NodeId>(prng.uniform_int(0, i - 1));
+    }
+    parent[static_cast<std::size_t>(i)] = par;
+    file[static_cast<std::size_t>(i)] =
+        prng.uniform_int(options.min_file, options.max_file);
+  }
+  for (NodeId i = 0; i < p; ++i) {
+    work[static_cast<std::size_t>(i)] =
+        prng.uniform_int(options.min_work, options.max_work);
+  }
+  return Tree(std::move(parent), std::move(file), std::move(work));
+}
+
+Tree with_random_weights(const Tree& tree, Weight min_file, Weight max_file,
+                         Weight min_work, Weight max_work, Prng& prng) {
+  TM_CHECK(min_file >= 0 && min_file <= max_file,
+           "with_random_weights: bad file range");
+  TM_CHECK(min_work <= max_work, "with_random_weights: bad work range");
+  std::vector<NodeId> parent = tree.parents();
+  std::vector<Weight> file(parent.size(), 0);
+  std::vector<Weight> work(parent.size(), 0);
+  for (std::size_t i = 0; i < parent.size(); ++i) {
+    if (static_cast<NodeId>(i) != tree.root()) {
+      file[i] = prng.uniform_int(min_file, max_file);
+    }
+    work[i] = prng.uniform_int(min_work, max_work);
+  }
+  return Tree(std::move(parent), std::move(file), std::move(work));
+}
+
+Tree with_random_paper_weights(const Tree& tree, Prng& prng) {
+  const Weight p = tree.size();
+  const Weight max_work = std::max<Weight>(1, p / 500);
+  return with_random_weights(tree, 1, std::max<Weight>(1, p), 1, max_work,
+                             prng);
+}
+
+}  // namespace treemem::gen

@@ -1,0 +1,93 @@
+// Synthetic tree families.
+//
+// These cover (a) the adversarial constructions of the paper — the harpoon
+// graph of Fig. 3 / Theorem 1 and the 2-Partition gadget of Fig. 4 /
+// Theorem 2 — and (b) generic random/structured families used by tests and
+// by the random-weight experiment of Section VI-E.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "support/prng.hpp"
+#include "tree/tree.hpp"
+
+namespace treemem::gen {
+
+/// A chain of `p` nodes rooted at node 0; every node has input file `file`
+/// and execution file `work`.
+Tree chain(NodeId p, Weight file, Weight work);
+
+/// A root with `branches` leaf children (out-tree star).
+Tree star(NodeId branches, Weight leaf_file, Weight work);
+
+/// Complete k-ary tree with `levels` levels (levels >= 1; one node when 1).
+Tree complete_kary(NodeId arity, NodeId levels, Weight file, Weight work);
+
+/// A caterpillar: a spine chain of `spine` nodes, each spine node also
+/// carrying `legs` leaf children.
+Tree caterpillar(NodeId spine, NodeId legs, Weight spine_file,
+                 Weight leg_file, Weight work);
+
+/// The one-level harpoon graph of Fig. 3(a): a zero-file root with
+/// `branches` identical branches u -> v -> w, where f_u = big/branches,
+/// f_v = eps, f_w = big; all execution files are zero.
+/// `big` must be divisible by `branches`.
+///
+/// Best postorder memory: big + eps + (branches-1)*big/branches.
+/// Optimal memory:        big + branches*eps.
+Tree harpoon(NodeId branches, Weight big, Weight eps);
+
+/// The iterated harpoon of Theorem 1: `levels` nested harpoons, the next
+/// level hanging (with a zero-size link file) beside each heavy leaf. With
+/// L = levels, provided eps <= (branches-1)*big/branches:
+///   best postorder memory: big + eps + L*(branches-1)*big/branches
+///   optimal memory:        big + eps + L*(branches-1)*eps
+/// so the postorder/optimal ratio grows without bound as L grows.
+Tree iterated_harpoon(NodeId branches, NodeId levels, Weight big, Weight eps);
+
+/// The NP-completeness gadget of Theorem 2 (Fig. 4) for a 2-Partition
+/// instance {a_1..a_n} with S = sum a_i (S must be even):
+///   root T_in (f=0) with children T_1..T_n (f = a_i) and T_big (f = S);
+///   each T_i has one leaf child Tout_i (f = S);
+///   T_big has one leaf child Tout_big (f = S/2). All n_i = 0.
+/// With memory M = 2S (the root's MemReq), an out-of-core traversal with
+/// I/O volume exactly S/2 exists iff the 2-Partition instance is a yes
+/// instance.
+Tree two_partition_gadget(const std::vector<Weight>& values);
+
+/// Memory budget (M = 2S) for the gadget built from `values`.
+Weight two_partition_gadget_memory(const std::vector<Weight>& values);
+
+/// Target I/O bound (S/2) for the gadget built from `values`.
+Weight two_partition_gadget_io_bound(const std::vector<Weight>& values);
+
+/// Options for random tree structures.
+struct RandomTreeOptions {
+  /// Probability that node i attaches to node i-1 rather than to a uniformly
+  /// random earlier node: 0 gives wide/shallow recursive trees, values close
+  /// to 1 give deep chain-like trees.
+  double chain_bias = 0.3;
+  /// Inclusive bounds for input-file sizes (root always gets f = 0 so the
+  /// instance matches the assembly-tree convention).
+  Weight min_file = 1;
+  Weight max_file = 100;
+  /// Inclusive bounds for execution-file sizes.
+  Weight min_work = 0;
+  Weight max_work = 20;
+};
+
+/// Random attachment tree with `p` nodes.
+Tree random_tree(NodeId p, const RandomTreeOptions& options, Prng& prng);
+
+/// The random re-weighting of Section VI-E: keeps the structure of `tree`
+/// and draws n_i uniformly from [1, max(1, p/500)] and f_i from [1, p]
+/// (f_root = 0), with p the node count.
+Tree with_random_paper_weights(const Tree& tree, Prng& prng);
+
+/// Keeps the structure of `tree`, drawing f_i in [min_file, max_file]
+/// (f_root = 0) and n_i in [min_work, max_work].
+Tree with_random_weights(const Tree& tree, Weight min_file, Weight max_file,
+                         Weight min_work, Weight max_work, Prng& prng);
+
+}  // namespace treemem::gen

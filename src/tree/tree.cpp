@@ -1,0 +1,176 @@
+#include "tree/tree.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace treemem {
+
+Tree::Tree(std::vector<NodeId> parent, std::vector<Weight> file,
+           std::vector<Weight> work)
+    : parent_(std::move(parent)),
+      file_(std::move(file)),
+      work_(std::move(work)) {
+  const std::size_t p = parent_.size();
+  TM_CHECK(p > 0, "tree must have at least one node");
+  TM_CHECK(file_.size() == p && work_.size() == p,
+           "array sizes disagree: parent=" << p << " file=" << file_.size()
+                                           << " work=" << work_.size());
+  TM_CHECK(p <= static_cast<std::size_t>(std::numeric_limits<NodeId>::max()),
+           "tree too large for 32-bit node ids: " << p);
+
+  // Locate the root and validate parent references.
+  root_ = kNoNode;
+  for (std::size_t i = 0; i < p; ++i) {
+    const NodeId par = parent_[i];
+    if (par == kNoNode) {
+      TM_CHECK(root_ == kNoNode,
+               "multiple roots: nodes " << root_ << " and " << i);
+      root_ = static_cast<NodeId>(i);
+    } else {
+      TM_CHECK(par >= 0 && static_cast<std::size_t>(par) < p,
+               "node " << i << " has out-of-range parent " << par);
+      TM_CHECK(par != static_cast<NodeId>(i), "node " << i << " is its own parent");
+    }
+  }
+  TM_CHECK(root_ != kNoNode, "tree has no root (no kNoNode parent entry)");
+
+  // Validate weights.
+  for (std::size_t i = 0; i < p; ++i) {
+    TM_CHECK(file_[i] >= 0,
+             "node " << i << " has negative input file size " << file_[i]);
+    TM_CHECK(file_[i] + work_[i] >= 0,
+             "node " << i << " violates f+n >= 0: f=" << file_[i]
+                     << " n=" << work_[i]);
+  }
+
+  // Children CSR.
+  child_ptr_.assign(p + 1, 0);
+  for (std::size_t i = 0; i < p; ++i) {
+    if (parent_[i] != kNoNode) {
+      ++child_ptr_[static_cast<std::size_t>(parent_[i]) + 1];
+    }
+  }
+  std::partial_sum(child_ptr_.begin(), child_ptr_.end(), child_ptr_.begin());
+  child_list_.resize(p - 1);
+  {
+    std::vector<std::int64_t> cursor(child_ptr_.begin(), child_ptr_.end() - 1);
+    for (std::size_t i = 0; i < p; ++i) {
+      const NodeId par = parent_[i];
+      if (par != kNoNode) {
+        child_list_[static_cast<std::size_t>(cursor[static_cast<std::size_t>(par)]++)] =
+            static_cast<NodeId>(i);
+      }
+    }
+  }
+
+  // BFS from the root; also detects disconnected components / cycles
+  // (any node not reached from the root).
+  bfs_order_.clear();
+  bfs_order_.reserve(p);
+  bfs_order_.push_back(root_);
+  for (std::size_t head = 0; head < bfs_order_.size(); ++head) {
+    const NodeId u = bfs_order_[head];
+    const auto begin = child_ptr_[static_cast<std::size_t>(u)];
+    const auto end = child_ptr_[static_cast<std::size_t>(u) + 1];
+    for (std::int64_t k = begin; k < end; ++k) {
+      bfs_order_.push_back(child_list_[static_cast<std::size_t>(k)]);
+    }
+  }
+  TM_CHECK(bfs_order_.size() == p,
+           "tree is not connected: reached " << bfs_order_.size() << " of "
+                                             << p << " nodes from the root");
+
+  // Derived quantities.
+  child_file_sum_.assign(p, 0);
+  for (std::size_t i = 0; i < p; ++i) {
+    const NodeId par = parent_[i];
+    if (par != kNoNode) {
+      child_file_sum_[static_cast<std::size_t>(par)] += file_[i];
+    }
+  }
+  max_mem_req_ = std::numeric_limits<Weight>::min();
+  for (NodeId i = 0; i < static_cast<NodeId>(p); ++i) {
+    max_mem_req_ = std::max(max_mem_req_, mem_req(i));
+  }
+}
+
+NodeId TreeBuilder::add_root(Weight file, Weight work) {
+  TM_CHECK(parent_.empty(), "add_root must be the first node added");
+  parent_.push_back(kNoNode);
+  file_.push_back(file);
+  work_.push_back(work);
+  return 0;
+}
+
+NodeId TreeBuilder::add_child(NodeId parent, Weight file, Weight work) {
+  TM_CHECK(!parent_.empty(), "add the root before adding children");
+  TM_CHECK(parent >= 0 && parent < size(),
+           "add_child: parent " << parent << " does not exist yet");
+  parent_.push_back(parent);
+  file_.push_back(file);
+  work_.push_back(work);
+  return static_cast<NodeId>(parent_.size() - 1);
+}
+
+void TreeBuilder::set_weights(NodeId node, Weight file, Weight work) {
+  TM_CHECK(node >= 0 && node < size(), "set_weights: bad node " << node);
+  file_[static_cast<std::size_t>(node)] = file;
+  work_[static_cast<std::size_t>(node)] = work;
+}
+
+Tree TreeBuilder::build() && {
+  return Tree(std::move(parent_), std::move(file_), std::move(work_));
+}
+
+TreeStats compute_stats(const Tree& tree) {
+  TreeStats stats;
+  stats.nodes = tree.size();
+  stats.max_mem_req = tree.max_mem_req();
+  const auto depths = node_depths(tree);
+  for (NodeId i = 0; i < tree.size(); ++i) {
+    if (tree.is_leaf(i)) {
+      ++stats.leaves;
+    }
+    stats.height = std::max(stats.height, depths[static_cast<std::size_t>(i)]);
+    stats.max_degree = std::max(stats.max_degree, tree.num_children(i));
+    stats.total_file += tree.file_size(i);
+    stats.total_work += tree.work_size(i);
+  }
+  return stats;
+}
+
+std::vector<NodeId> node_depths(const Tree& tree) {
+  std::vector<NodeId> depth(static_cast<std::size_t>(tree.size()), 0);
+  for (const NodeId u : tree.top_down_order()) {
+    if (u != tree.root()) {
+      depth[static_cast<std::size_t>(u)] =
+          depth[static_cast<std::size_t>(tree.parent(u))] + 1;
+    }
+  }
+  return depth;
+}
+
+std::vector<NodeId> subtree_sizes(const Tree& tree) {
+  std::vector<NodeId> size(static_cast<std::size_t>(tree.size()), 1);
+  const auto& order = tree.top_down_order();
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    const NodeId u = *it;
+    if (u != tree.root()) {
+      size[static_cast<std::size_t>(tree.parent(u))] +=
+          size[static_cast<std::size_t>(u)];
+    }
+  }
+  return size;
+}
+
+std::vector<NodeId> leaf_nodes(const Tree& tree) {
+  std::vector<NodeId> leaves;
+  for (NodeId i = 0; i < tree.size(); ++i) {
+    if (tree.is_leaf(i)) {
+      leaves.push_back(i);
+    }
+  }
+  return leaves;
+}
+
+}  // namespace treemem

@@ -1,0 +1,171 @@
+// The task-tree model of Section III of the paper.
+//
+// A Tree is a rooted out-tree of p tasks. Task i carries
+//   * an input file of size  f_i  — produced by its parent (or fed from the
+//     outside world for the root),
+//   * an execution file of size n_i — resident only while i executes.
+// Executing i consumes f_i and n_i and materializes the input files of all
+// children of i, so the transient memory demand of i alone is
+//   MemReq(i) = f_i + n_i + sum_{j in children(i)} f_j.          (Eq. 1)
+//
+// The same object doubles as an in-tree (leaves-to-root processing, the
+// multifrontal direction): f_i is then the file i sends *to* its parent.
+// Section III-C of the paper shows a traversal is valid for the in-tree
+// reading iff its reverse is valid for the out-tree reading, with identical
+// memory peaks; core/variants.hpp exposes that duality.
+//
+// n_i may be negative: the transforms of Figs. 1 and 2 (replacement model,
+// Liu's model) map onto this representation with negative execution files.
+// The library enforces the invariant f_i + n_i >= 0, which both transforms
+// satisfy and which guarantees that between-step resident memory never
+// exceeds the adjacent transient peaks (so peaks alone determine
+// feasibility).
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <vector>
+
+#include "support/check.hpp"
+
+namespace treemem {
+
+/// Node identifier; nodes are numbered 0..p-1.
+using NodeId = std::int32_t;
+
+/// File / memory sizes. Signed 64-bit: transformed models use negative n_i,
+/// and corpus instances reach sums around 1e13 — far from overflow.
+using Weight = std::int64_t;
+
+/// Sentinel for "no node" (the root's parent).
+inline constexpr NodeId kNoNode = -1;
+
+/// "Infinite" weight: large enough to dominate any real memory value, small
+/// enough that a few additions cannot overflow.
+inline constexpr Weight kInfiniteWeight = std::numeric_limits<Weight>::max() / 4;
+
+class Tree {
+ public:
+  Tree() = default;
+
+  /// Builds a tree from a parent array. Exactly one entry must be kNoNode
+  /// (the root); all others must reference valid nodes and form no cycle.
+  /// `file` holds f_i, `work` holds n_i. Throws treemem::Error on malformed
+  /// input (including f_i < 0 or f_i + n_i < 0).
+  Tree(std::vector<NodeId> parent, std::vector<Weight> file,
+       std::vector<Weight> work);
+
+  /// Number of nodes p.
+  NodeId size() const { return static_cast<NodeId>(parent_.size()); }
+  bool empty() const { return parent_.empty(); }
+
+  NodeId root() const { return root_; }
+  NodeId parent(NodeId i) const { return parent_[check_id(i)]; }
+  bool is_leaf(NodeId i) const { return num_children(i) == 0; }
+
+  /// f_i: size of the input file of node i.
+  Weight file_size(NodeId i) const { return file_[check_id(i)]; }
+  /// n_i: size of the execution file of node i (may be negative, see above).
+  Weight work_size(NodeId i) const { return work_[check_id(i)]; }
+
+  /// Children of i, in insertion (construction) order.
+  std::span<const NodeId> children(NodeId i) const {
+    const auto id = check_id(i);
+    return {child_list_.data() + child_ptr_[id],
+            child_list_.data() + child_ptr_[id + 1]};
+  }
+  NodeId num_children(NodeId i) const {
+    const auto id = check_id(i);
+    return static_cast<NodeId>(child_ptr_[id + 1] - child_ptr_[id]);
+  }
+
+  /// Sum of the children input files of i.
+  Weight child_file_sum(NodeId i) const { return child_file_sum_[check_id(i)]; }
+
+  /// MemReq(i) = f_i + n_i + sum of children files (Equation 1).
+  Weight mem_req(NodeId i) const {
+    const auto id = check_id(i);
+    return file_[id] + work_[id] + child_file_sum_[id];
+  }
+
+  /// max_i MemReq(i): the trivial lower bound on any in-core memory budget.
+  Weight max_mem_req() const { return max_mem_req_; }
+
+  /// Nodes in breadth-first order from the root; every parent precedes its
+  /// children. The reverse is a valid bottom-up order. Computed once at
+  /// construction, used by all iterative (non-recursive) tree algorithms.
+  const std::vector<NodeId>& top_down_order() const { return bfs_order_; }
+
+  /// Direct access to the underlying arrays (bulk consumers: serialization,
+  /// transforms, benchmarks).
+  const std::vector<NodeId>& parents() const { return parent_; }
+  const std::vector<Weight>& files() const { return file_; }
+  const std::vector<Weight>& works() const { return work_; }
+
+ private:
+  NodeId check_id(NodeId i) const {
+    TM_CHECK(i >= 0 && i < size(), "node id " << i << " out of range [0,"
+                                              << size() << ")");
+    return i;
+  }
+
+  std::vector<NodeId> parent_;
+  std::vector<Weight> file_;
+  std::vector<Weight> work_;
+  std::vector<std::int64_t> child_ptr_;  // size p+1, CSR offsets
+  std::vector<NodeId> child_list_;       // size p-1
+  std::vector<Weight> child_file_sum_;
+  std::vector<NodeId> bfs_order_;
+  NodeId root_ = kNoNode;
+  Weight max_mem_req_ = 0;
+};
+
+/// Incremental tree construction: add the root first, then children in any
+/// order consistent with "parent exists before child".
+class TreeBuilder {
+ public:
+  /// Adds the root; must be called exactly once, first. Returns its id (0).
+  NodeId add_root(Weight file, Weight work);
+
+  /// Adds a child of `parent`; returns the new node id.
+  NodeId add_child(NodeId parent, Weight file, Weight work);
+
+  /// Re-weights an already added node (used by generators that fix up
+  /// weights after shaping the structure).
+  void set_weights(NodeId node, Weight file, Weight work);
+
+  NodeId size() const { return static_cast<NodeId>(parent_.size()); }
+
+  /// Finalizes into an immutable Tree (validates everything).
+  Tree build() &&;
+
+ private:
+  std::vector<NodeId> parent_;
+  std::vector<Weight> file_;
+  std::vector<Weight> work_;
+};
+
+/// Structural + weight statistics used by experiment reports.
+struct TreeStats {
+  NodeId nodes = 0;
+  NodeId leaves = 0;
+  NodeId height = 0;        ///< edges on the longest root-to-leaf path
+  NodeId max_degree = 0;    ///< maximum child count
+  Weight max_mem_req = 0;
+  Weight total_file = 0;
+  Weight total_work = 0;
+};
+
+TreeStats compute_stats(const Tree& tree);
+
+/// Depth of every node (root = 0), computed iteratively.
+std::vector<NodeId> node_depths(const Tree& tree);
+
+/// Size of the subtree rooted at every node (node itself included).
+std::vector<NodeId> subtree_sizes(const Tree& tree);
+
+/// All leaves, in node-id order.
+std::vector<NodeId> leaf_nodes(const Tree& tree);
+
+}  // namespace treemem

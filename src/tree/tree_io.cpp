@@ -1,0 +1,90 @@
+#include "tree/tree_io.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "support/check.hpp"
+
+namespace treemem {
+
+void write_tree(std::ostream& out, const Tree& tree) {
+  out << "treemem-tree 1 " << tree.size() << "\n";
+  for (NodeId i = 0; i < tree.size(); ++i) {
+    out << tree.parent(i) << ' ' << tree.file_size(i) << ' '
+        << tree.work_size(i) << "\n";
+  }
+}
+
+std::string tree_to_string(const Tree& tree) {
+  std::ostringstream oss;
+  write_tree(oss, tree);
+  return oss.str();
+}
+
+Tree read_tree(std::istream& in) {
+  std::string token;
+  // Skip comment lines.
+  while (in >> token) {
+    if (token.size() >= 1 && token[0] == '#') {
+      std::string rest;
+      std::getline(in, rest);
+      continue;
+    }
+    break;
+  }
+  TM_CHECK(token == "treemem-tree",
+           "bad tree header token: '" << token << "'");
+  int version = 0;
+  std::int64_t p = 0;
+  TM_CHECK(static_cast<bool>(in >> version >> p), "truncated tree header");
+  TM_CHECK(version == 1, "unsupported tree format version " << version);
+  TM_CHECK(p >= 1, "tree node count must be positive, got " << p);
+
+  std::vector<NodeId> parent(static_cast<std::size_t>(p));
+  std::vector<Weight> file(static_cast<std::size_t>(p));
+  std::vector<Weight> work(static_cast<std::size_t>(p));
+  for (std::int64_t i = 0; i < p; ++i) {
+    std::int64_t par = 0;
+    TM_CHECK(static_cast<bool>(in >> par >> file[static_cast<std::size_t>(i)] >>
+                               work[static_cast<std::size_t>(i)]),
+             "truncated tree body at node " << i);
+    parent[static_cast<std::size_t>(i)] = static_cast<NodeId>(par);
+  }
+  return Tree(std::move(parent), std::move(file), std::move(work));
+}
+
+Tree tree_from_string(const std::string& text) {
+  std::istringstream iss(text);
+  return read_tree(iss);
+}
+
+void save_tree(const std::string& path, const Tree& tree) {
+  std::ofstream out(path);
+  TM_CHECK(out.good(), "cannot open " << path << " for writing");
+  write_tree(out, tree);
+  TM_CHECK(out.good(), "write to " << path << " failed");
+}
+
+Tree load_tree(const std::string& path) {
+  std::ifstream in(path);
+  TM_CHECK(in.good(), "cannot open " << path << " for reading");
+  return read_tree(in);
+}
+
+std::string tree_to_dot(const Tree& tree) {
+  std::ostringstream oss;
+  oss << "digraph tree {\n  node [shape=box];\n";
+  for (NodeId i = 0; i < tree.size(); ++i) {
+    oss << "  n" << i << " [label=\"" << i << "\\nf=" << tree.file_size(i)
+        << " n=" << tree.work_size(i) << "\"];\n";
+  }
+  for (NodeId i = 0; i < tree.size(); ++i) {
+    if (tree.parent(i) != kNoNode) {
+      oss << "  n" << tree.parent(i) << " -> n" << i << ";\n";
+    }
+  }
+  oss << "}\n";
+  return oss.str();
+}
+
+}  // namespace treemem

@@ -1,0 +1,34 @@
+// Text serialization of task trees.
+//
+// Format (one tree per stream):
+//   # comment lines allowed anywhere before the header
+//   treemem-tree 1 <p>
+//   <parent_0> <f_0> <n_0>
+//   ...                        (p lines; parent of the root is -1)
+//
+// A DOT exporter is provided for visual inspection of small instances.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "tree/tree.hpp"
+
+namespace treemem {
+
+/// Writes `tree` in the treemem-tree text format.
+void write_tree(std::ostream& out, const Tree& tree);
+std::string tree_to_string(const Tree& tree);
+
+/// Parses a tree; throws treemem::Error on malformed input.
+Tree read_tree(std::istream& in);
+Tree tree_from_string(const std::string& text);
+
+/// Saves / loads a tree to a file path.
+void save_tree(const std::string& path, const Tree& tree);
+Tree load_tree(const std::string& path);
+
+/// Graphviz DOT rendering; node labels show "id\nf=..,n=..".
+std::string tree_to_dot(const Tree& tree);
+
+}  // namespace treemem

@@ -1,0 +1,48 @@
+// Umbrella header: the whole treemem public API.
+//
+// treemem reproduces "On Optimal Tree Traversals for Sparse Matrix
+// Factorization" (Jacquelin, Marchal, Robert, Uçar; IPDPS 2011): memory-
+// optimal traversals of task trees (MinMemory), I/O-minimizing out-of-core
+// schedules (MinIO), and the complete sparse-factorization substrate the
+// paper's evaluation rests on. See README.md for a guided tour.
+#pragma once
+
+// The task-tree model and generators.
+#include "tree/generators.hpp"
+#include "tree/tree.hpp"
+#include "tree/tree_io.hpp"
+
+// The paper's algorithms.
+#include "core/brute_force.hpp"
+#include "core/check.hpp"
+#include "core/liu.hpp"
+#include "core/minio.hpp"
+#include "core/minio_exact.hpp"
+#include "core/minmem.hpp"
+#include "core/in_tree.hpp"
+#include "core/pebble.hpp"
+#include "core/planner.hpp"
+#include "core/postorder.hpp"
+#include "core/trace.hpp"
+#include "core/traversal.hpp"
+#include "core/variants.hpp"
+
+// Sparse-matrix substrate.
+#include "order/ordering.hpp"
+#include "sparse/generators.hpp"
+#include "sparse/mm_io.hpp"
+#include "sparse/pattern.hpp"
+#include "symbolic/assembly_tree.hpp"
+#include "symbolic/symbolic.hpp"
+
+// Numerical multifrontal engine.
+#include "multifrontal/disk_model.hpp"
+#include "multifrontal/numeric.hpp"
+#include "multifrontal/out_of_core.hpp"
+
+// Parallel scheduling (future-work direction of the paper).
+#include "parallel/parallel_sim.hpp"
+
+// Experiment layer.
+#include "perf/corpus.hpp"
+#include "perf/profile.hpp"

@@ -1,0 +1,122 @@
+// Tests for the Algorithm 1 / Algorithm 2 feasibility checkers and the
+// in-tree/out-tree duality of Section III-C.
+#include <gtest/gtest.h>
+
+#include "core/brute_force.hpp"
+#include "core/check.hpp"
+#include "core/liu.hpp"
+#include "test_util.hpp"
+#include "tree/generators.hpp"
+
+namespace treemem {
+namespace {
+
+using testing::seeded_random_tree;
+using testing::tiny_mixed;
+
+TEST(TraversalPeak, HandComputedExample) {
+  const Tree tree = tiny_mixed();
+  // Order: 0, 2, 4, 1, 3.
+  // resident starts at f0=0.
+  //  exec 0: 0 + n0(1) + f1+f2 (10) = 11; resident -> 10
+  //  exec 2: 10 + 2 + 3 = 15;            resident -> 7  (drop 6, add 3)
+  //  exec 4: 7 + 1 + 0 = 8;              resident -> 4
+  //  exec 1: 4 + 0 + 2 = 6;              resident -> 2
+  //  exec 3: 2 + 0 + 0 = 2;              resident -> 0
+  const Traversal order{0, 2, 4, 1, 3};
+  EXPECT_EQ(traversal_peak(tree, order), 15);
+
+  const CheckResult ok = check_in_core(tree, order, 15);
+  EXPECT_TRUE(ok.feasible);
+  EXPECT_EQ(ok.peak, 15);
+  const CheckResult fail = check_in_core(tree, order, 14);
+  EXPECT_FALSE(fail.feasible);
+  EXPECT_EQ(fail.fail_step, 1);  // step executing node 2
+}
+
+TEST(TraversalPeak, RejectsMalformedOrders) {
+  const Tree tree = tiny_mixed();
+  EXPECT_THROW(traversal_peak(tree, {0, 1, 2, 3}), Error);      // short
+  EXPECT_THROW(traversal_peak(tree, {0, 1, 1, 3, 4}), Error);   // duplicate
+  EXPECT_THROW(traversal_peak(tree, {1, 0, 2, 3, 4}), Error);   // child first
+  EXPECT_THROW(traversal_peak(tree, {0, 1, 2, 4, 5}), Error);   // bad id
+}
+
+TEST(CheckInCore, DetectsNotReady) {
+  const Tree tree = tiny_mixed();
+  const CheckResult res = check_in_core(tree, {0, 3, 1, 2, 4}, 1000);
+  EXPECT_FALSE(res.feasible);
+  EXPECT_EQ(res.fail_step, 1);  // node 3 runs before its parent 1
+}
+
+class DualitySweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DualitySweep, OutTreePeakEqualsReversedInTreePeak) {
+  const std::uint64_t seed = GetParam();
+  for (NodeId size = 2; size <= 9; ++size) {
+    const Tree tree = seeded_random_tree(seed * 557 + size, size);
+    for (const Traversal& order : all_traversals(tree)) {
+      const Weight out_peak = traversal_peak(tree, order);
+      const Weight in_peak =
+          in_tree_traversal_peak(tree, reverse_traversal(order));
+      EXPECT_EQ(out_peak, in_peak)
+          << "seed=" << seed << " size=" << size;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DualitySweep,
+                         ::testing::Range<std::uint64_t>(1, 9));
+
+TEST(CheckOutOfCore, NoWritesMatchesInCore) {
+  const Tree tree = tiny_mixed();
+  IoSchedule schedule;
+  schedule.order = {0, 2, 4, 1, 3};
+  const CheckResult res = check_out_of_core(tree, schedule, 15);
+  EXPECT_TRUE(res.feasible);
+  EXPECT_EQ(res.io_volume, 0);
+}
+
+TEST(CheckOutOfCore, SimpleEvictionScenario) {
+  const Tree tree = tiny_mixed();
+  // With M = 14 the order {0,2,4,1,3} fails at node 2 (needs 15). Writing
+  // node 1's file (size 4) out just before step 1 frees enough.
+  IoSchedule schedule;
+  schedule.order = {0, 2, 4, 1, 3};
+  schedule.writes.push_back({1, 1});
+  const CheckResult res = check_out_of_core(tree, schedule, 14);
+  ASSERT_TRUE(res.feasible) << res.reason;
+  EXPECT_EQ(res.io_volume, 4);
+}
+
+TEST(CheckOutOfCore, RejectsWritingUnproducedFile) {
+  const Tree tree = tiny_mixed();
+  IoSchedule schedule;
+  schedule.order = {0, 2, 4, 1, 3};
+  schedule.writes.push_back({0, 3});  // node 3's file not produced at step 0
+  const CheckResult res = check_out_of_core(tree, schedule, 1000);
+  EXPECT_FALSE(res.feasible);
+}
+
+TEST(CheckOutOfCore, RejectsWritingAfterExecution) {
+  const Tree tree = tiny_mixed();
+  IoSchedule schedule;
+  schedule.order = {0, 2, 4, 1, 3};
+  schedule.writes.push_back({3, 2});  // node 2 executed at step 1
+  const CheckResult res = check_out_of_core(tree, schedule, 1000);
+  EXPECT_FALSE(res.feasible);
+}
+
+TEST(CheckOutOfCore, CountsEachWriteOnce) {
+  const Tree tree = gen::star(3, 10, 0);
+  IoSchedule schedule;
+  schedule.order = {0, 1, 2, 3};
+  // Budget 31 fits everything; still allow a gratuitous write+read cycle.
+  schedule.writes.push_back({1, 3});
+  const CheckResult res = check_out_of_core(tree, schedule, 31);
+  ASSERT_TRUE(res.feasible) << res.reason;
+  EXPECT_EQ(res.io_volume, 10);
+}
+
+}  // namespace
+}  // namespace treemem

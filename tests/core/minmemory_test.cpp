@@ -1,0 +1,271 @@
+// Cross-validation of the three MinMemory algorithms (PostOrder, LiuExact,
+// MinMem) against each other, against exhaustive search, and against the
+// closed forms of Theorem 1.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/brute_force.hpp"
+#include "core/check.hpp"
+#include "core/liu.hpp"
+#include "core/minmem.hpp"
+#include "core/postorder.hpp"
+#include "test_util.hpp"
+#include "tree/generators.hpp"
+
+namespace treemem {
+namespace {
+
+using testing::seeded_random_tree;
+using testing::tiny_chain;
+using testing::tiny_mixed;
+using testing::tiny_star;
+
+// ---------------------------------------------------------------------------
+// Hand-checked instances
+// ---------------------------------------------------------------------------
+
+TEST(MinMemoryHand, SingleNode) {
+  TreeBuilder b;
+  b.add_root(7, 3);
+  const Tree tree = std::move(b).build();
+  EXPECT_EQ(best_postorder(tree).peak, 10);
+  EXPECT_EQ(liu_optimal(tree).peak, 10);
+  EXPECT_EQ(minmem_optimal(tree).peak, 10);
+}
+
+TEST(MinMemoryHand, SingleNodeNegativeWork) {
+  // f=5, n=-5: the transient demand is zero but the file itself must fit.
+  Tree tree({kNoNode}, {5}, {-5});
+  EXPECT_EQ(best_postorder(tree).peak, 5);
+  EXPECT_EQ(liu_optimal(tree).peak, 5);
+  EXPECT_EQ(minmem_optimal(tree).peak, 5);
+  EXPECT_EQ(brute_force_min_memory(tree), 5);
+}
+
+TEST(MinMemoryHand, Chain) {
+  // Chain with constant f=3, n=2: every step holds exactly one file plus
+  // its successor, so the peak is MemReq = 3+2+3 = 8 (leaf: 5).
+  const Tree tree = tiny_chain();
+  EXPECT_EQ(tree.max_mem_req(), 8);
+  EXPECT_EQ(best_postorder(tree).peak, 8);
+  EXPECT_EQ(liu_optimal(tree).peak, 8);
+  EXPECT_EQ(minmem_optimal(tree).peak, 8);
+}
+
+TEST(MinMemoryHand, StarIsMemReqBound) {
+  // Executing the root materializes all leaf files at once: no traversal
+  // can beat MemReq(root) = 0 + 1 + 4*5 = 21.
+  const Tree tree = tiny_star();
+  EXPECT_EQ(tree.max_mem_req(), 21);
+  EXPECT_EQ(liu_optimal(tree).peak, 21);
+  EXPECT_EQ(minmem_optimal(tree).peak, 21);
+  EXPECT_EQ(best_postorder(tree).peak, 21);
+}
+
+TEST(MinMemoryHand, MixedTreeMatchesBruteForce) {
+  const Tree tree = tiny_mixed();
+  const Weight expected = brute_force_min_memory(tree);
+  EXPECT_EQ(liu_optimal(tree).peak, expected);
+  EXPECT_EQ(minmem_optimal(tree).peak, expected);
+  EXPECT_GE(best_postorder(tree).peak, expected);
+}
+
+// ---------------------------------------------------------------------------
+// Theorem 1: harpoon closed forms
+// ---------------------------------------------------------------------------
+
+struct HarpoonCase {
+  NodeId branches;
+  NodeId levels;
+  Weight big;
+  Weight eps;
+};
+
+class HarpoonFormulas : public ::testing::TestWithParam<HarpoonCase> {};
+
+TEST_P(HarpoonFormulas, ClosedForms) {
+  const auto [b, levels, big, eps] = GetParam();
+  const Tree tree = gen::iterated_harpoon(b, levels, big, eps);
+
+  const Weight expected_postorder =
+      big + eps + static_cast<Weight>(levels) * (b - 1) * (big / b);
+  const Weight expected_optimal =
+      big + eps + static_cast<Weight>(levels) * (b - 1) * eps;
+
+  EXPECT_EQ(best_postorder(tree).peak, expected_postorder)
+      << "b=" << b << " L=" << levels;
+  EXPECT_EQ(liu_optimal(tree).peak, expected_optimal);
+  EXPECT_EQ(minmem_optimal(tree).peak, expected_optimal);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, HarpoonFormulas,
+    ::testing::Values(HarpoonCase{2, 1, 1000, 2}, HarpoonCase{2, 2, 1000, 2},
+                      HarpoonCase{2, 5, 1000, 2}, HarpoonCase{3, 1, 900, 5},
+                      HarpoonCase{3, 3, 900, 5}, HarpoonCase{4, 2, 1000, 1},
+                      HarpoonCase{4, 4, 1000, 1}, HarpoonCase{5, 3, 1000, 3},
+                      HarpoonCase{8, 2, 8000, 7}));
+
+TEST(HarpoonTheorem, RatioGrowsWithLevels) {
+  // Theorem 1: for any K there is an L with ratio > K. Check monotone
+  // growth and that it crosses 3x within a few levels.
+  double last_ratio = 0.0;
+  for (NodeId levels = 1; levels <= 8; ++levels) {
+    const Tree tree = gen::iterated_harpoon(4, levels, 1000, 1);
+    const double ratio =
+        static_cast<double>(best_postorder(tree).peak) /
+        static_cast<double>(liu_optimal(tree).peak);
+    EXPECT_GT(ratio, last_ratio);
+    last_ratio = ratio;
+  }
+  EXPECT_GT(last_ratio, 3.0);
+}
+
+// ---------------------------------------------------------------------------
+// Exhaustive validation sweeps on random trees
+// ---------------------------------------------------------------------------
+
+class SmallRandomTrees : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SmallRandomTrees, OptimalAlgorithmsMatchBruteForce) {
+  const std::uint64_t seed = GetParam();
+  for (NodeId size = 2; size <= 9; ++size) {
+    const Tree tree = seeded_random_tree(seed * 131 + size, size);
+    const Weight expected = brute_force_min_memory(tree);
+    EXPECT_EQ(liu_optimal(tree).peak, expected)
+        << "Liu mismatch, seed=" << seed << " size=" << size;
+    EXPECT_EQ(minmem_optimal(tree).peak, expected)
+        << "MinMem mismatch, seed=" << seed << " size=" << size;
+    EXPECT_GE(best_postorder(tree).peak, expected);
+  }
+}
+
+TEST_P(SmallRandomTrees, PostOrderMatchesEnumeration) {
+  const std::uint64_t seed = GetParam();
+  for (NodeId size = 2; size <= 10; ++size) {
+    const Tree tree = seeded_random_tree(seed * 733 + size, size);
+    EXPECT_EQ(best_postorder(tree).peak, brute_force_best_postorder(tree))
+        << "seed=" << seed << " size=" << size;
+  }
+}
+
+TEST_P(SmallRandomTrees, ProducedTraversalsAreValidAndAttainPeaks) {
+  const std::uint64_t seed = GetParam();
+  for (NodeId size = 2; size <= 24; size += 3) {
+    const Tree tree = seeded_random_tree(seed * 977 + size, size);
+
+    const TraversalResult po = best_postorder(tree);
+    EXPECT_EQ(traversal_peak(tree, po.order), po.peak);
+
+    const TraversalResult liu = liu_optimal(tree);
+    EXPECT_EQ(traversal_peak(tree, liu.order), liu.peak);
+
+    const MinMemResult mm = minmem_optimal(tree);
+    EXPECT_EQ(traversal_peak(tree, mm.order), mm.peak);
+
+    // Algorithm 1 accepts each traversal exactly at its peak and rejects
+    // one unit below.
+    EXPECT_TRUE(check_in_core(tree, liu.order, liu.peak).feasible);
+    EXPECT_FALSE(check_in_core(tree, liu.order, liu.peak - 1).feasible);
+  }
+}
+
+TEST_P(SmallRandomTrees, LiuMergeStrategiesAgree) {
+  const std::uint64_t seed = GetParam();
+  for (NodeId size = 2; size <= 40; size += 7) {
+    const Tree tree = seeded_random_tree(seed * 389 + size, size);
+    EXPECT_EQ(liu_optimal_peak(tree, LiuMergeStrategy::kHeap),
+              liu_optimal_peak(tree, LiuMergeStrategy::kStableSort));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SmallRandomTrees,
+                         ::testing::Range<std::uint64_t>(1, 26));
+
+// ---------------------------------------------------------------------------
+// Medium random trees: Liu and MinMem must agree (both claim optimality)
+// ---------------------------------------------------------------------------
+
+class MediumRandomTrees : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MediumRandomTrees, LiuEqualsMinMem) {
+  const std::uint64_t seed = GetParam();
+  for (const NodeId size : {50, 200, 800}) {
+    const Tree tree = seeded_random_tree(seed * 3571 + size, size);
+    const TraversalResult liu = liu_optimal(tree);
+    const MinMemResult mm = minmem_optimal(tree);
+    ASSERT_EQ(liu.peak, mm.peak) << "seed=" << seed << " size=" << size;
+    EXPECT_EQ(traversal_peak(tree, liu.order), liu.peak);
+    EXPECT_EQ(traversal_peak(tree, mm.order), mm.peak);
+    EXPECT_LE(liu.peak, best_postorder(tree).peak);
+  }
+}
+
+TEST_P(MediumRandomTrees, WarmStartMatchesColdStart) {
+  const std::uint64_t seed = GetParam();
+  const Tree tree = seeded_random_tree(seed * 911, 300);
+  MinMemOptions cold;
+  cold.warm_start = false;
+  const MinMemResult warm = minmem_optimal(tree);
+  const MinMemResult rerun = minmem_optimal(tree, cold);
+  EXPECT_EQ(warm.peak, rerun.peak);
+  EXPECT_EQ(traversal_peak(tree, rerun.order), rerun.peak);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MediumRandomTrees,
+                         ::testing::Range<std::uint64_t>(1, 13));
+
+// ---------------------------------------------------------------------------
+// Structured families
+// ---------------------------------------------------------------------------
+
+TEST(MinMemoryStructured, DeepChainDoesNotOverflowStack) {
+  const Tree tree = gen::chain(200000, 2, 1);
+  EXPECT_EQ(minmem_optimal(tree).peak, 5);  // f+n+f_child = 2+1+2
+  EXPECT_EQ(liu_optimal_peak(tree), 5);
+  EXPECT_EQ(best_postorder_peak(tree), 5);
+}
+
+TEST(MinMemoryStructured, CompleteBinaryTree) {
+  const Tree tree = gen::complete_kary(2, 10, 4, 1);  // 1023 nodes
+  const TraversalResult liu = liu_optimal(tree);
+  const MinMemResult mm = minmem_optimal(tree);
+  EXPECT_EQ(liu.peak, mm.peak);
+  EXPECT_LE(liu.peak, best_postorder(tree).peak);
+  EXPECT_EQ(traversal_peak(tree, liu.order), liu.peak);
+}
+
+TEST(MinMemoryStructured, CaterpillarFamilies) {
+  for (const NodeId legs : {1, 3, 8}) {
+    const Tree tree = gen::caterpillar(40, legs, 5, 2, 1);
+    const TraversalResult liu = liu_optimal(tree);
+    const MinMemResult mm = minmem_optimal(tree);
+    EXPECT_EQ(liu.peak, mm.peak) << "legs=" << legs;
+  }
+}
+
+TEST(MinMemoryStructured, ExploreReportsCutAndPeak) {
+  const Tree tree = tiny_mixed();
+  // max_mem_req = 11 executes the root only: node 1 needs local budget 6
+  // (has 5), node 2 needs 11 (has 7). The cut stays at the root's children
+  // with footprint f_1 + f_2 = 10.
+  const ExploreResult res =
+      explore_subtree(tree, tree.root(), tree.max_mem_req());
+  EXPECT_EQ(res.order, Traversal{tree.root()});
+  EXPECT_EQ(res.cut.size(), 2u);
+  EXPECT_EQ(res.min_mem, 10);
+  // Entering node 1 needs 6 while holding f_2 = 6 -> peak 12.
+  EXPECT_EQ(res.peak, 12);
+}
+
+TEST(MinMemoryStructured, ExploreRejectsUnexecutableRoot) {
+  const Tree tree = tiny_star();  // MemReq(root) = 21
+  const ExploreResult res = explore_subtree(tree, tree.root(), 20);
+  EXPECT_EQ(res.min_mem, kInfiniteWeight);
+  EXPECT_EQ(res.peak, 21);
+  EXPECT_TRUE(res.order.empty());
+}
+
+}  // namespace
+}  // namespace treemem

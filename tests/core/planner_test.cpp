@@ -1,0 +1,99 @@
+// Tests for the execution planner and the in-tree wrapper API.
+#include <gtest/gtest.h>
+
+#include "core/check.hpp"
+#include "core/in_tree.hpp"
+#include "core/liu.hpp"
+#include "core/minmem.hpp"
+#include "core/planner.hpp"
+#include "core/postorder.hpp"
+#include "test_util.hpp"
+#include "tree/generators.hpp"
+
+namespace treemem {
+namespace {
+
+using testing::seeded_random_tree;
+
+class PlannerSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PlannerSweep, PlansValidateAcrossAllRegimes) {
+  const std::uint64_t seed = GetParam();
+  for (NodeId size = 5; size <= 60; size += 11) {
+    const Tree tree = seeded_random_tree(seed * 2029 + size, size);
+    const Weight po_peak = best_postorder_peak(tree);
+    const Weight opt_peak = minmem_optimal(tree).peak;
+    const Weight floor = std::max(tree.max_mem_req(), tree.file_size(tree.root()));
+
+    const Weight budgets[] = {po_peak + 5, po_peak,      opt_peak,
+                              (floor + opt_peak) / 2,    floor,
+                              floor - 1};
+    for (const Weight budget : budgets) {
+      const ExecutionPlan plan = plan_execution(tree, budget);
+      EXPECT_EQ(plan.in_core_optimum, opt_peak);
+      if (budget < floor) {
+        EXPECT_FALSE(plan.feasible);
+        continue;
+      }
+      ASSERT_TRUE(plan.feasible) << "budget=" << budget;
+      const CheckResult check = check_out_of_core(tree, plan.schedule, budget);
+      ASSERT_TRUE(check.feasible)
+          << plan.strategy << " budget=" << budget << ": " << check.reason;
+      EXPECT_EQ(check.io_volume, plan.io_volume);
+      if (budget >= opt_peak) {
+        EXPECT_EQ(plan.io_volume, 0) << plan.strategy;
+        EXPECT_TRUE(plan.schedule.writes.empty());
+      }
+    }
+  }
+}
+
+TEST_P(PlannerSweep, StrategyTagsMatchRegimes) {
+  const std::uint64_t seed = GetParam();
+  const Tree tree = seeded_random_tree(seed * 15101, 40);
+  const Weight po_peak = best_postorder_peak(tree);
+  const Weight opt_peak = minmem_optimal(tree).peak;
+
+  EXPECT_EQ(plan_execution(tree, po_peak).strategy, "postorder/in-core");
+  if (opt_peak < po_peak) {
+    EXPECT_EQ(plan_execution(tree, opt_peak).strategy, "minmem/in-core");
+  }
+  const Weight floor = std::max(tree.max_mem_req(), tree.file_size(tree.root()));
+  if (floor < opt_peak) {
+    const ExecutionPlan plan = plan_execution(tree, floor);
+    EXPECT_NE(plan.strategy.find("out-of-core"), std::string::npos);
+    EXPECT_GT(plan.io_volume, 0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PlannerSweep,
+                         ::testing::Range<std::uint64_t>(1, 13));
+
+TEST(Planner, HarpoonPrefersOptimalWhenPostorderCannotFit) {
+  const Tree tree = gen::iterated_harpoon(4, 3, 1000, 1);
+  const Weight opt_peak = liu_optimal_peak(tree);
+  const ExecutionPlan plan = plan_execution(tree, opt_peak);
+  EXPECT_EQ(plan.strategy, "minmem/in-core");
+  EXPECT_EQ(plan.peak, opt_peak);
+}
+
+TEST(InTreeWrappers, PeaksMatchAndOrdersAreBottomUp) {
+  for (const std::uint64_t seed : {1ULL, 5ULL, 9ULL}) {
+    const Tree tree = seeded_random_tree(seed * 4242, 50);
+    const TraversalResult po = in_tree_best_postorder(tree);
+    const TraversalResult liu = in_tree_liu_optimal(tree);
+    const MinMemResult mm = in_tree_minmem_optimal(tree);
+
+    EXPECT_EQ(in_tree_traversal_peak(tree, po.order), po.peak);
+    EXPECT_EQ(in_tree_traversal_peak(tree, liu.order), liu.peak);
+    EXPECT_EQ(in_tree_traversal_peak(tree, mm.order), mm.peak);
+    EXPECT_EQ(liu.peak, mm.peak);
+    // Bottom-up: the root comes last.
+    EXPECT_EQ(po.order.back(), tree.root());
+    EXPECT_EQ(liu.order.back(), tree.root());
+    EXPECT_EQ(mm.order.back(), tree.root());
+  }
+}
+
+}  // namespace
+}  // namespace treemem

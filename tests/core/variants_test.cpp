@@ -1,0 +1,187 @@
+// Tests for the Section III-C model variants: the replacement-model and
+// Liu-model reductions are validated by simulating both sides of each
+// reduction on the same traversals, and the pebble-game specialization is
+// checked against the classical Sethi–Ullman numbers.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/brute_force.hpp"
+#include "core/check.hpp"
+#include "core/liu.hpp"
+#include "core/minmem.hpp"
+#include "core/pebble.hpp"
+#include "core/postorder.hpp"
+#include "core/variants.hpp"
+#include "test_util.hpp"
+#include "tree/generators.hpp"
+
+namespace treemem {
+namespace {
+
+using testing::seeded_random_tree;
+
+// ---------------------------------------------------------------------------
+// Replacement model (Fig. 1)
+// ---------------------------------------------------------------------------
+
+TEST(ReplacementModel, TransformMatchesFigureOne) {
+  // Fig. 1: node E with f=1 and children of sizes 1 and 2 gets n = -1 in
+  // the transformed instance.
+  TreeBuilder b;
+  const NodeId e = b.add_root(1, 0);
+  b.add_child(e, 1, 0);
+  b.add_child(e, 2, 0);
+  const Tree transformed = replacement_transform(std::move(b).build());
+  EXPECT_EQ(transformed.work_size(e), -1);  // -min(f=1, children=3)
+  EXPECT_EQ(transformed.mem_req(e), 1 - 1 + 3);  // max(f, children) = 3
+}
+
+class ReplacementSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ReplacementSweep, TransformPreservesEveryTraversalPeak) {
+  const std::uint64_t seed = GetParam();
+  for (NodeId size = 2; size <= 8; ++size) {
+    const Tree tree = seeded_random_tree(seed * 691 + size, size);
+    const Tree transformed = replacement_transform(tree);
+    for (const Traversal& order : all_traversals(tree)) {
+      EXPECT_EQ(replacement_model_peak(tree, order),
+                traversal_peak(transformed, order))
+          << "seed=" << seed << " size=" << size;
+    }
+  }
+}
+
+TEST_P(ReplacementSweep, OptimalAlgorithmsAgreeOnTransformedInstances) {
+  const std::uint64_t seed = GetParam();
+  for (NodeId size = 3; size <= 9; ++size) {
+    const Tree transformed =
+        replacement_transform(seeded_random_tree(seed * 827 + size, size));
+    const Weight expected = brute_force_min_memory(transformed);
+    EXPECT_EQ(liu_optimal(transformed).peak, expected);
+    EXPECT_EQ(minmem_optimal(transformed).peak, expected);
+    EXPECT_GE(best_postorder(transformed).peak, expected);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ReplacementSweep,
+                         ::testing::Range<std::uint64_t>(1, 11));
+
+// ---------------------------------------------------------------------------
+// Liu's (x+, x-) model (Fig. 2)
+// ---------------------------------------------------------------------------
+
+LiuModelInstance random_liu_instance(std::uint64_t seed, NodeId size) {
+  Prng prng(seed);
+  gen::RandomTreeOptions options;
+  const Tree shape = gen::random_tree(size, options, prng);
+  LiuModelInstance instance;
+  instance.parent = shape.parents();
+  instance.n_minus.resize(static_cast<std::size_t>(size));
+  instance.n_plus.resize(static_cast<std::size_t>(size));
+  // Draw n_minus first, then n_plus >= sum of children storage (validity).
+  for (NodeId u = 0; u < size; ++u) {
+    instance.n_minus[static_cast<std::size_t>(u)] = prng.uniform_int(1, 30);
+  }
+  for (NodeId u = 0; u < size; ++u) {
+    Weight child_storage = 0;
+    for (const NodeId c : shape.children(u)) {
+      child_storage += instance.n_minus[static_cast<std::size_t>(c)];
+    }
+    instance.n_plus[static_cast<std::size_t>(u)] =
+        child_storage + prng.uniform_int(0, 40);
+  }
+  return instance;
+}
+
+class LiuModelSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(LiuModelSweep, ReductionPreservesBottomUpPeaks) {
+  const std::uint64_t seed = GetParam();
+  for (NodeId size = 2; size <= 8; ++size) {
+    const LiuModelInstance instance = random_liu_instance(seed * 409 + size, size);
+    const Tree reduced = from_liu_model(instance);
+    for (const Traversal& order : all_traversals(reduced)) {
+      // Bottom-up order for the in-tree reading = reverse of the out-tree
+      // traversal; its Liu-model peak must equal the base-model in-tree peak.
+      const Traversal bottom_up = reverse_traversal(order);
+      EXPECT_EQ(liu_model_peak(instance, bottom_up),
+                in_tree_traversal_peak(reduced, bottom_up))
+          << "seed=" << seed << " size=" << size;
+    }
+  }
+}
+
+TEST_P(LiuModelSweep, FigureTwoStyleValidation) {
+  const std::uint64_t seed = GetParam();
+  const LiuModelInstance instance = random_liu_instance(seed * 6007, 7);
+  const Tree reduced = from_liu_model(instance);
+  // The reduction defines f = n_minus exactly.
+  for (NodeId u = 0; u < reduced.size(); ++u) {
+    EXPECT_EQ(reduced.file_size(u),
+              instance.n_minus[static_cast<std::size_t>(u)]);
+  }
+  // Optimal memory in the reduced instance is the optimal Liu-model memory:
+  // check by brute force over all orders.
+  Weight best_direct = kInfiniteWeight;
+  for (const Traversal& order : all_traversals(reduced)) {
+    best_direct = std::min(
+        best_direct, liu_model_peak(instance, reverse_traversal(order)));
+  }
+  EXPECT_EQ(liu_optimal(reduced).peak, best_direct);
+}
+
+TEST(LiuModel, RejectsInvalidInstances) {
+  LiuModelInstance bad;
+  bad.parent = {kNoNode, 0};
+  bad.n_minus = {1, 5};
+  bad.n_plus = {3, 5};  // root n_plus(0)=3 < child storage 5
+  EXPECT_THROW(from_liu_model(bad), Error);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LiuModelSweep,
+                         ::testing::Range<std::uint64_t>(1, 11));
+
+// ---------------------------------------------------------------------------
+// Pebble game / Sethi–Ullman correspondence
+// ---------------------------------------------------------------------------
+
+TEST(PebbleGame, ChainNeedsOneRegister) {
+  const Tree chain = gen::chain(10, 3, 1);
+  EXPECT_EQ(sethi_ullman_number(chain), 1);
+}
+
+TEST(PebbleGame, BalancedBinaryTreeIsLogDepth) {
+  // A complete binary tree of depth d needs d+1 registers.
+  for (NodeId levels = 1; levels <= 6; ++levels) {
+    const Tree tree = gen::complete_kary(2, levels, 1, 0);
+    EXPECT_EQ(sethi_ullman_number(tree), levels);
+  }
+}
+
+TEST(PebbleGame, StarNeedsAllOperands) {
+  const Tree star = gen::star(6, 1, 0);
+  EXPECT_EQ(sethi_ullman_number(star), 6);
+}
+
+class PebbleSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PebbleSweep, OptimalReplacementPebblingEqualsSethiUllman) {
+  // The classical correspondence: on unit-file trees, optimal memory in the
+  // replacement model equals the Sethi–Ullman register number.
+  const std::uint64_t seed = GetParam();
+  for (NodeId size = 2; size <= 40; size += 5) {
+    const Tree shape = seeded_random_tree(seed * 1201 + size, size);
+    const Tree unit = make_unit_tree(shape);
+    const Tree game = replacement_transform(unit);
+    EXPECT_EQ(liu_optimal(game).peak, sethi_ullman_number(shape))
+        << "seed=" << seed << " size=" << size;
+    EXPECT_EQ(minmem_optimal(game).peak, sethi_ullman_number(shape));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PebbleSweep,
+                         ::testing::Range<std::uint64_t>(1, 11));
+
+}  // namespace
+}  // namespace treemem

@@ -1,0 +1,130 @@
+// Tests for the ordering substrate: permutation validity, bandwidth/fill
+// quality, determinism, and the approximate-vs-exact degree variants.
+#include <gtest/gtest.h>
+
+#include "order/ordering.hpp"
+#include "sparse/generators.hpp"
+#include "sparse/pattern.hpp"
+#include "support/prng.hpp"
+#include "symbolic/symbolic.hpp"
+
+namespace treemem {
+namespace {
+
+std::int64_t fill_after(const SparsePattern& a, const std::vector<Index>& perm) {
+  return factor_nnz(permute_symmetric(a, perm));
+}
+
+Index bandwidth(const SparsePattern& a) {
+  Index bw = 0;
+  for (Index j = 0; j < a.cols(); ++j) {
+    for (const Index i : a.column(j)) {
+      bw = std::max(bw, static_cast<Index>(std::abs(i - j)));
+    }
+  }
+  return bw;
+}
+
+TEST(Orderings, NaturalAndRandomAreValid) {
+  EXPECT_EQ(natural_order(4), (std::vector<Index>{0, 1, 2, 3}));
+  Prng prng(3);
+  const auto r = random_order(100, prng);
+  check_permutation(r, 100);
+}
+
+class OrderingSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(OrderingSweep, AllOrderingsAreValidPermutations) {
+  const std::uint64_t seed = GetParam();
+  Prng prng(seed);
+  const SparsePattern a = symmetrize(gen::random_symmetric(150, 4.0, prng));
+  check_permutation(rcm_order(a), a.cols());
+  check_permutation(min_degree_order(a), a.cols());
+  check_permutation(nested_dissection_order(a), a.cols());
+}
+
+TEST_P(OrderingSweep, ExactAndApproximateDegreesBothReduceFill) {
+  const std::uint64_t seed = GetParam();
+  Prng prng(seed * 17);
+  const SparsePattern a = symmetrize(gen::random_symmetric(120, 3.0, prng));
+  const std::int64_t natural = fill_after(a, natural_order(a.cols()));
+
+  MinDegreeOptions approx;
+  MinDegreeOptions exact;
+  exact.approximate_degree = false;
+  const std::int64_t fill_approx = fill_after(a, min_degree_order(a, approx));
+  const std::int64_t fill_exact = fill_after(a, min_degree_order(a, exact));
+  EXPECT_LE(fill_approx, natural);
+  EXPECT_LE(fill_exact, natural);
+  // The approximation should stay close to the exact-degree result.
+  EXPECT_LE(fill_approx, fill_exact * 3 / 2 + 16);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, OrderingSweep,
+                         ::testing::Range<std::uint64_t>(1, 9));
+
+TEST(Orderings, RcmShrinksGridBandwidth) {
+  // Natural order of a wide grid has bandwidth nx; RCM should do no worse,
+  // and it must massacre the bandwidth of a randomly permuted grid.
+  const SparsePattern a = symmetrize(gen::grid2d(30, 10));
+  Prng prng(5);
+  const auto scrambled = permute_symmetric(a, random_order(a.cols(), prng));
+  const Index before = bandwidth(scrambled);
+  const Index after = bandwidth(permute_symmetric(scrambled, rcm_order(scrambled)));
+  EXPECT_LT(after, before / 4);
+}
+
+TEST(Orderings, MinDegreeBeatsNaturalOnGrids) {
+  const SparsePattern a = symmetrize(gen::grid2d(24, 24));
+  const std::int64_t natural = fill_after(a, natural_order(a.cols()));
+  const std::int64_t md = fill_after(a, min_degree_order(a));
+  EXPECT_LT(md, natural);
+}
+
+TEST(Orderings, NestedDissectionBeatsNaturalOnGrids) {
+  const SparsePattern a = symmetrize(gen::grid2d(24, 24));
+  const std::int64_t natural = fill_after(a, natural_order(a.cols()));
+  const std::int64_t nd = fill_after(a, nested_dissection_order(a));
+  EXPECT_LT(nd, natural);
+}
+
+TEST(Orderings, MinDegreeOptimalOnTridiagonal) {
+  // A tridiagonal matrix has no fill under the natural order, and minimum
+  // degree must find a no-fill elimination too.
+  Prng prng(1);
+  const SparsePattern a = symmetrize(gen::banded(60, 1, 1.0, prng));
+  EXPECT_EQ(fill_after(a, min_degree_order(a)), 2 * 60 - 1);
+}
+
+TEST(Orderings, Deterministic) {
+  Prng prng(9);
+  const SparsePattern a = symmetrize(gen::random_symmetric(200, 4.0, prng));
+  EXPECT_EQ(min_degree_order(a), min_degree_order(a));
+  EXPECT_EQ(nested_dissection_order(a), nested_dissection_order(a));
+  EXPECT_EQ(rcm_order(a), rcm_order(a));
+}
+
+TEST(Orderings, HandleDisconnectedGraphs) {
+  Prng prng(21);
+  const SparsePattern a = gen::grid2d_with_holes(12, 12, 0.45, prng);
+  const SparsePattern s = symmetrize(a);
+  check_permutation(rcm_order(s), s.cols());
+  check_permutation(min_degree_order(s), s.cols());
+  check_permutation(nested_dissection_order(s), s.cols());
+}
+
+TEST(Orderings, TinyAndDegenerateInputs) {
+  const SparsePattern one = SparsePattern::from_coo(1, 1, {{0, 0}});
+  EXPECT_EQ(min_degree_order(one), (std::vector<Index>{0}));
+  EXPECT_EQ(rcm_order(one), (std::vector<Index>{0}));
+  EXPECT_EQ(nested_dissection_order(one), (std::vector<Index>{0}));
+
+  // Diagonal-only matrix: everything has degree zero.
+  const SparsePattern diag =
+      SparsePattern::from_coo(5, 5, {{0, 0}, {1, 1}, {2, 2}, {3, 3}, {4, 4}});
+  check_permutation(min_degree_order(diag), 5);
+  check_permutation(nested_dissection_order(diag), 5);
+}
+
+}  // namespace
+}  // namespace treemem

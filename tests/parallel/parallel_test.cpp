@@ -1,0 +1,177 @@
+// Tests for the memory-bounded parallel traversal simulator.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/check.hpp"
+#include "core/postorder.hpp"
+#include "parallel/parallel_sim.hpp"
+#include "test_util.hpp"
+#include "tree/generators.hpp"
+
+namespace treemem {
+namespace {
+
+using testing::seeded_random_tree;
+
+/// Validates the Gantt chart: precedence, worker exclusivity, completeness.
+void check_gantt(const Tree& tree, const ParallelScheduleResult& result,
+                 int workers) {
+  ASSERT_EQ(result.gantt.size(), static_cast<std::size_t>(tree.size()));
+  std::vector<double> finish(static_cast<std::size_t>(tree.size()), -1.0);
+  for (const TaskInterval& task : result.gantt) {
+    ASSERT_GE(task.worker, 0);
+    ASSERT_LT(task.worker, workers);
+    ASSERT_LT(task.start, task.finish);
+    ASSERT_EQ(finish[static_cast<std::size_t>(task.node)], -1.0);
+    finish[static_cast<std::size_t>(task.node)] = task.finish;
+  }
+  // Children finish before their parent starts.
+  for (const TaskInterval& task : result.gantt) {
+    for (const NodeId c : tree.children(task.node)) {
+      EXPECT_LE(finish[static_cast<std::size_t>(c)], task.start + 1e-9);
+    }
+  }
+  // No two tasks overlap on one worker.
+  std::vector<TaskInterval> sorted = result.gantt;
+  std::sort(sorted.begin(), sorted.end(), [](const auto& a, const auto& b) {
+    return a.worker != b.worker ? a.worker < b.worker : a.start < b.start;
+  });
+  for (std::size_t i = 1; i < sorted.size(); ++i) {
+    if (sorted[i].worker == sorted[i - 1].worker) {
+      EXPECT_GE(sorted[i].start, sorted[i - 1].finish - 1e-9);
+    }
+  }
+}
+
+TEST(ParallelSim, SerialPostorderMatchesTheAbstractPeak) {
+  for (const std::uint64_t seed : {1ULL, 4ULL, 9ULL}) {
+    const Tree tree = seeded_random_tree(seed * 8111, 60);
+    ParallelOptions options;
+    options.workers = 1;
+    options.priority = ParallelPriority::kPostorder;
+    const ParallelScheduleResult result =
+        simulate_parallel_traversal(tree, options);
+    ASSERT_TRUE(result.feasible);
+    EXPECT_EQ(result.peak_memory, best_postorder(tree).peak) << seed;
+    EXPECT_NEAR(result.speedup, 1.0, 1e-9);
+    check_gantt(tree, result, 1);
+  }
+}
+
+TEST(ParallelSim, StarScalesWithWorkers) {
+  // 16 identical leaves of duration 6 (f=5,n=1) + root: ideal parallelism.
+  const Tree tree = gen::star(16, 5, 1);
+  ParallelOptions one;
+  one.workers = 1;
+  ParallelOptions eight;
+  eight.workers = 8;
+  const auto serial = simulate_parallel_traversal(tree, one);
+  const auto parallel = simulate_parallel_traversal(tree, eight);
+  ASSERT_TRUE(serial.feasible);
+  ASSERT_TRUE(parallel.feasible);
+  EXPECT_LT(parallel.makespan, serial.makespan / 4);
+  EXPECT_GT(parallel.speedup, 4.0);
+  check_gantt(tree, parallel, 8);
+}
+
+TEST(ParallelSim, ChainCannotSpeedUp) {
+  const Tree tree = gen::chain(50, 3, 2);
+  ParallelOptions options;
+  options.workers = 8;
+  const auto result = simulate_parallel_traversal(tree, options);
+  ASSERT_TRUE(result.feasible);
+  EXPECT_NEAR(result.speedup, 1.0, 1e-9);
+}
+
+TEST(ParallelSim, MemoryBoundSerializesTheStar) {
+  // Each leaf transient = 6; root transient = 16*5+1 = 81. With budget 81
+  // but 8 workers, concurrent leaves hold 6 each plus finished files 5:
+  // the bound caps how many run at once, stretching the makespan.
+  const Tree tree = gen::star(16, 5, 1);
+  ParallelOptions unlimited;
+  unlimited.workers = 8;
+  ParallelOptions capped = unlimited;
+  capped.memory_budget = 81;  // root's own requirement: minimum possible
+  const auto free_run = simulate_parallel_traversal(tree, unlimited);
+  const auto capped_run = simulate_parallel_traversal(tree, capped);
+  ASSERT_TRUE(free_run.feasible);
+  ASSERT_TRUE(capped_run.feasible);
+  EXPECT_LE(capped_run.peak_memory, 81);
+  EXPECT_GT(capped_run.makespan, free_run.makespan);
+  EXPECT_GT(free_run.peak_memory, capped_run.peak_memory);
+}
+
+TEST(ParallelSim, InfeasibleBelowSingleTaskRequirement) {
+  const Tree tree = gen::star(4, 10, 0);  // root transient = 40
+  ParallelOptions options;
+  options.workers = 2;
+  options.memory_budget = 39;
+  EXPECT_FALSE(simulate_parallel_traversal(tree, options).feasible);
+}
+
+class ParallelSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ParallelSweep, AllPrioritiesProduceValidSchedules) {
+  const std::uint64_t seed = GetParam();
+  const Tree tree = seeded_random_tree(seed * 617, 80);
+  for (const ParallelPriority priority :
+       {ParallelPriority::kCriticalPath, ParallelPriority::kPostorder,
+        ParallelPriority::kSmallestWork}) {
+    for (const int workers : {1, 3, 7}) {
+      ParallelOptions options;
+      options.workers = workers;
+      options.priority = priority;
+      const auto result = simulate_parallel_traversal(tree, options);
+      ASSERT_TRUE(result.feasible)
+          << to_string(priority) << " w=" << workers;
+      check_gantt(tree, result, workers);
+      EXPECT_LE(result.speedup, static_cast<double>(workers) + 1e-9);
+      EXPECT_GE(result.speedup, 1.0 - 1e-9);
+    }
+  }
+}
+
+TEST_P(ParallelSweep, MoreMemoryNeverHurtsMakespan) {
+  const std::uint64_t seed = GetParam();
+  const Tree tree = seeded_random_tree(seed * 1999, 50);
+  ParallelOptions options;
+  options.workers = 4;
+  const auto unlimited = simulate_parallel_traversal(tree, options);
+  ASSERT_TRUE(unlimited.feasible);
+  options.memory_budget = unlimited.peak_memory;
+  const auto exact_fit = simulate_parallel_traversal(tree, options);
+  ASSERT_TRUE(exact_fit.feasible);
+  EXPECT_NEAR(exact_fit.makespan, unlimited.makespan, 1e-9);
+}
+
+TEST_P(ParallelSweep, CustomDurationsRespected) {
+  const std::uint64_t seed = GetParam();
+  const Tree tree = seeded_random_tree(seed * 83, 20);
+  std::vector<double> durations(static_cast<std::size_t>(tree.size()), 2.5);
+  ParallelOptions options;
+  options.workers = 1;
+  const auto result = simulate_parallel_traversal(tree, options, durations);
+  ASSERT_TRUE(result.feasible);
+  EXPECT_NEAR(result.makespan, 2.5 * tree.size(), 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ParallelSweep,
+                         ::testing::Range<std::uint64_t>(1, 9));
+
+TEST(ParallelSim, RejectsBadArguments) {
+  const Tree tree = gen::chain(3, 1, 1);
+  ParallelOptions options;
+  options.workers = 0;
+  EXPECT_THROW(simulate_parallel_traversal(tree, options), Error);
+  options.workers = 2;
+  EXPECT_THROW(
+      simulate_parallel_traversal(tree, options, {1.0, 2.0}),  // short
+      Error);
+  EXPECT_THROW(
+      simulate_parallel_traversal(tree, options, {1.0, -1.0, 2.0}),
+      Error);
+}
+
+}  // namespace
+}  // namespace treemem

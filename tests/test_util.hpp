@@ -1,0 +1,45 @@
+// Shared helpers for the treemem test suite.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include "support/prng.hpp"
+#include "tree/generators.hpp"
+#include "tree/tree.hpp"
+
+namespace treemem::testing {
+
+/// A deterministic zoo of small hand-built trees exercising assorted shapes
+/// and weight regimes (including zero files and negative execution files
+/// from variant-model transforms).
+inline Tree tiny_chain() { return gen::chain(5, 3, 2); }
+
+inline Tree tiny_star() { return gen::star(4, 5, 1); }
+
+/// The running example used across several tests: root 0 (f=0,n=1) with
+/// children 1 (f=4,n=0) and 2 (f=6,n=2); node 3 (f=2,n=0) under 1 and
+/// node 4 (f=3,n=1) under 2.
+inline Tree tiny_mixed() {
+  TreeBuilder b;
+  const NodeId r = b.add_root(0, 1);
+  const NodeId a = b.add_child(r, 4, 0);
+  const NodeId c = b.add_child(r, 6, 2);
+  b.add_child(a, 2, 0);
+  b.add_child(c, 3, 1);
+  return std::move(b).build();
+}
+
+/// Random tree with the given seed; sizes and shape vary with the seed so
+/// parameterized sweeps cover many regimes.
+inline Tree seeded_random_tree(std::uint64_t seed, NodeId size) {
+  Prng prng(seed);
+  gen::RandomTreeOptions options;
+  options.chain_bias = 0.15 + 0.7 * prng.uniform_real();
+  options.min_file = 0;
+  options.max_file = 1 + static_cast<Weight>(prng.uniform_int(1, 40));
+  options.min_work = 0;
+  options.max_work = static_cast<Weight>(prng.uniform_int(0, 15));
+  return gen::random_tree(size, options, prng);
+}
+
+}  // namespace treemem::testing

@@ -1,0 +1,187 @@
+// Tests for the Tree data structure, builder, statistics and serialization.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "test_util.hpp"
+#include "tree/generators.hpp"
+#include "tree/tree.hpp"
+#include "tree/tree_io.hpp"
+
+namespace treemem {
+namespace {
+
+using testing::tiny_mixed;
+
+TEST(Tree, BasicAccessors) {
+  const Tree tree = tiny_mixed();
+  EXPECT_EQ(tree.size(), 5);
+  EXPECT_EQ(tree.root(), 0);
+  EXPECT_EQ(tree.parent(0), kNoNode);
+  EXPECT_EQ(tree.parent(3), 1);
+  EXPECT_EQ(tree.num_children(0), 2);
+  EXPECT_TRUE(tree.is_leaf(3));
+  EXPECT_FALSE(tree.is_leaf(2));
+  EXPECT_EQ(tree.child_file_sum(0), 10);
+  EXPECT_EQ(tree.mem_req(0), 0 + 1 + 10);
+  EXPECT_EQ(tree.mem_req(2), 6 + 2 + 3);
+  EXPECT_EQ(tree.max_mem_req(), 11);
+}
+
+TEST(Tree, TopDownOrderIsParentFirst) {
+  const Tree tree = gen::complete_kary(3, 4, 2, 1);
+  const auto& order = tree.top_down_order();
+  ASSERT_EQ(order.size(), static_cast<std::size_t>(tree.size()));
+  std::vector<int> seen(static_cast<std::size_t>(tree.size()), 0);
+  for (const NodeId u : order) {
+    if (u != tree.root()) {
+      EXPECT_TRUE(seen[static_cast<std::size_t>(tree.parent(u))]);
+    }
+    seen[static_cast<std::size_t>(u)] = 1;
+  }
+}
+
+TEST(Tree, RejectsMalformedInput) {
+  // Two roots.
+  EXPECT_THROW(Tree({kNoNode, kNoNode}, {0, 0}, {0, 0}), Error);
+  // No root / cycle.
+  EXPECT_THROW(Tree({1, 0}, {0, 0}, {0, 0}), Error);
+  // Self-loop.
+  EXPECT_THROW(Tree({kNoNode, 1}, {0, 0}, {0, 0}), Error);
+  // Out-of-range parent.
+  EXPECT_THROW(Tree({kNoNode, 7}, {0, 0}, {0, 0}), Error);
+  // Negative file.
+  EXPECT_THROW(Tree({kNoNode}, {-1}, {0}), Error);
+  // f + n < 0.
+  EXPECT_THROW(Tree({kNoNode}, {2}, {-3}), Error);
+  // Size mismatch.
+  EXPECT_THROW(Tree({kNoNode}, {0, 1}, {0}), Error);
+  // Empty.
+  EXPECT_THROW(Tree({}, {}, {}), Error);
+  // Disconnected: 2-cycle beside the root.
+  EXPECT_THROW(Tree({kNoNode, 2, 1}, {0, 0, 0}, {0, 0, 0}), Error);
+}
+
+TEST(Tree, BuilderEnforcesOrder) {
+  TreeBuilder b;
+  EXPECT_THROW(b.add_child(0, 1, 1), Error);  // no root yet
+  b.add_root(0, 0);
+  EXPECT_THROW(b.add_root(0, 0), Error);      // second root
+  EXPECT_THROW(b.add_child(5, 1, 1), Error);  // nonexistent parent
+  const NodeId c = b.add_child(0, 3, 1);
+  b.set_weights(c, 7, 2);
+  const Tree tree = std::move(b).build();
+  EXPECT_EQ(tree.file_size(c), 7);
+  EXPECT_EQ(tree.work_size(c), 2);
+}
+
+TEST(Tree, StatsOnKnownShapes) {
+  const TreeStats chain = compute_stats(gen::chain(10, 2, 1));
+  EXPECT_EQ(chain.nodes, 10);
+  EXPECT_EQ(chain.leaves, 1);
+  EXPECT_EQ(chain.height, 9);
+  EXPECT_EQ(chain.max_degree, 1);
+
+  const TreeStats star = compute_stats(gen::star(7, 3, 0));
+  EXPECT_EQ(star.nodes, 8);
+  EXPECT_EQ(star.leaves, 7);
+  EXPECT_EQ(star.height, 1);
+  EXPECT_EQ(star.max_degree, 7);
+  EXPECT_EQ(star.total_file, 21);
+}
+
+TEST(Tree, DepthsAndSubtreeSizes) {
+  const Tree tree = tiny_mixed();
+  const auto depths = node_depths(tree);
+  EXPECT_EQ(depths, (std::vector<NodeId>{0, 1, 1, 2, 2}));
+  const auto sizes = subtree_sizes(tree);
+  EXPECT_EQ(sizes, (std::vector<NodeId>{5, 2, 2, 1, 1}));
+  EXPECT_EQ(leaf_nodes(tree), (std::vector<NodeId>{3, 4}));
+}
+
+TEST(TreeIo, RoundTripPreservesEverything) {
+  const Tree tree = tiny_mixed();
+  const std::string text = tree_to_string(tree);
+  const Tree back = tree_from_string(text);
+  ASSERT_EQ(back.size(), tree.size());
+  for (NodeId u = 0; u < tree.size(); ++u) {
+    EXPECT_EQ(back.parent(u), tree.parent(u));
+    EXPECT_EQ(back.file_size(u), tree.file_size(u));
+    EXPECT_EQ(back.work_size(u), tree.work_size(u));
+  }
+}
+
+TEST(TreeIo, AcceptsCommentsAndRejectsGarbage) {
+  const Tree tree = tree_from_string(
+      "# a comment line\n# another\ntreemem-tree 1 2\n-1 0 0\n0 5 1\n");
+  EXPECT_EQ(tree.size(), 2);
+  EXPECT_EQ(tree.file_size(1), 5);
+
+  EXPECT_THROW(tree_from_string("bogus 1 2\n-1 0 0\n0 5 1\n"), Error);
+  EXPECT_THROW(tree_from_string("treemem-tree 2 1\n-1 0 0\n"), Error);
+  EXPECT_THROW(tree_from_string("treemem-tree 1 3\n-1 0 0\n0 5 1\n"), Error);
+}
+
+TEST(TreeIo, DotOutputMentionsEveryEdge) {
+  const Tree tree = tiny_mixed();
+  const std::string dot = tree_to_dot(tree);
+  EXPECT_NE(dot.find("n0 -> n1"), std::string::npos);
+  EXPECT_NE(dot.find("n2 -> n4"), std::string::npos);
+  EXPECT_NE(dot.find("digraph"), std::string::npos);
+}
+
+TEST(Generators, ChainStarKaryCaterpillarShapes) {
+  EXPECT_EQ(gen::chain(1, 5, 5).size(), 1);
+  EXPECT_EQ(gen::complete_kary(3, 3, 1, 0).size(), 1 + 3 + 9);
+  EXPECT_EQ(gen::caterpillar(5, 2, 3, 1, 0).size(), 5 + 10);
+  EXPECT_THROW(gen::chain(0, 1, 1), Error);
+  EXPECT_THROW(gen::iterated_harpoon(1, 1, 10, 1), Error);
+  EXPECT_THROW(gen::iterated_harpoon(3, 1, 10, 1), Error);  // 10 % 3 != 0
+  EXPECT_THROW(gen::two_partition_gadget({1, 2}), Error);   // odd sum
+  EXPECT_THROW(gen::two_partition_gadget({}), Error);
+}
+
+TEST(Generators, HarpoonNodeCount) {
+  // H_1 has 1 + 3b nodes; each extra level multiplies attachment points by b
+  // and adds 4 nodes per branch (u, v, w, link).
+  const Tree h1 = gen::harpoon(4, 1000, 1);
+  EXPECT_EQ(h1.size(), 1 + 3 * 4);
+  const Tree h2 = gen::iterated_harpoon(4, 2, 1000, 1);
+  EXPECT_EQ(h2.size(), 1 + 4 * 4 + 4 * 3 * 4);
+}
+
+TEST(Generators, RandomTreeRespectsOptions) {
+  Prng prng(42);
+  gen::RandomTreeOptions options;
+  options.chain_bias = 1.0;  // pure chain
+  options.min_file = 2;
+  options.max_file = 2;
+  const Tree chain = gen::random_tree(50, options, prng);
+  const TreeStats stats = compute_stats(chain);
+  EXPECT_EQ(stats.height, 49);
+  EXPECT_EQ(stats.max_degree, 1);
+
+  options.chain_bias = 0.0;
+  const Tree wide = gen::random_tree(200, options, prng);
+  EXPECT_LT(compute_stats(wide).height, 60);  // w.h.p. much shallower
+}
+
+TEST(Generators, PaperRandomWeightsInRange) {
+  Prng prng(7);
+  const Tree shape = gen::complete_kary(2, 9, 1, 1);  // 511 nodes
+  const Tree weighted = gen::with_random_paper_weights(shape, prng);
+  const Weight p = weighted.size();
+  for (NodeId u = 0; u < weighted.size(); ++u) {
+    if (u == weighted.root()) {
+      EXPECT_EQ(weighted.file_size(u), 0);
+    } else {
+      EXPECT_GE(weighted.file_size(u), 1);
+      EXPECT_LE(weighted.file_size(u), p);
+    }
+    EXPECT_GE(weighted.work_size(u), 1);
+    EXPECT_LE(weighted.work_size(u), std::max<Weight>(1, p / 500));
+  }
+}
+
+}  // namespace
+}  // namespace treemem
