@@ -1,0 +1,173 @@
+// Edge-case coverage for degenerate tree shapes — single node, pure chain,
+// pure star, all-zero weights, duplicated weights — across the Algorithm 1
+// checker, the postorder optimizer, and the Section III-C model transforms.
+// These shapes sit at the boundaries of every recurrence in the library
+// (no children, one child, only-leaf children, zero file sizes, ties).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/brute_force.hpp"
+#include "core/check.hpp"
+#include "core/liu.hpp"
+#include "core/minmem.hpp"
+#include "core/pebble.hpp"
+#include "core/postorder.hpp"
+#include "core/variants.hpp"
+#include "test_util.hpp"
+#include "tree/generators.hpp"
+
+namespace treemem {
+namespace {
+
+/// Asserts that every algorithm agrees with the exhaustive DP on `tree`
+/// and that all reported orders re-simulate to their reported peaks.
+void expect_all_algorithms_agree(const Tree& tree, Weight expected_peak) {
+  EXPECT_EQ(brute_force_min_memory(tree), expected_peak);
+  const TraversalResult post = best_postorder(tree);
+  const TraversalResult liu = liu_optimal(tree);
+  const MinMemResult mm = minmem_optimal(tree);
+  EXPECT_EQ(post.peak, expected_peak);
+  EXPECT_EQ(liu.peak, expected_peak);
+  EXPECT_EQ(mm.peak, expected_peak);
+  for (const Traversal& order : {post.order, liu.order, mm.order}) {
+    EXPECT_EQ(traversal_peak(tree, order), expected_peak);
+    const CheckResult at_peak = check_in_core(tree, order, expected_peak);
+    EXPECT_TRUE(at_peak.feasible) << at_peak.reason;
+    if (expected_peak > 0) {
+      EXPECT_FALSE(check_in_core(tree, order, expected_peak - 1).feasible);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Single node
+// ---------------------------------------------------------------------------
+
+TEST(DegenerateTrees, SingleNode) {
+  const Tree tree({kNoNode}, {7}, {4});
+  expect_all_algorithms_agree(tree, 11);
+  // Algorithm 1 on the only traversal.
+  EXPECT_TRUE(check_in_core(tree, {0}, 11).feasible);
+  EXPECT_FALSE(check_in_core(tree, {0}, 10).feasible);
+}
+
+TEST(DegenerateTrees, SingleNodeZeroWeights) {
+  const Tree tree({kNoNode}, {0}, {0});
+  expect_all_algorithms_agree(tree, 0);
+  EXPECT_TRUE(check_in_core(tree, {0}, 0).feasible);
+}
+
+// ---------------------------------------------------------------------------
+// Pure chain: exactly one traversal exists, peak = max_i MemReq(i)
+// ---------------------------------------------------------------------------
+
+TEST(DegenerateTrees, PureChain) {
+  for (NodeId p = 1; p <= 7; ++p) {
+    const Tree tree = gen::chain(p, 3, 2);
+    // Non-leaf nodes hold their file, work, and the single child file.
+    const Weight expected = p == 1 ? 5 : 8;
+    expect_all_algorithms_agree(tree, expected);
+    // Any order except the unique chain order must be structurally invalid.
+    if (p >= 2) {
+      Traversal swapped(static_cast<std::size_t>(p));
+      for (NodeId i = 0; i < p; ++i) {
+        swapped[static_cast<std::size_t>(i)] = i;
+      }
+      std::swap(swapped[0], swapped[1]);
+      EXPECT_FALSE(check_in_core(tree, swapped, kInfiniteWeight).feasible);
+    }
+  }
+}
+
+TEST(DegenerateTrees, ZeroFileChain) {
+  // Zero-size files: only the execution files ever occupy memory.
+  const Tree tree = gen::chain(6, 0, 5);
+  expect_all_algorithms_agree(tree, 5);
+}
+
+// ---------------------------------------------------------------------------
+// Pure star: all leaf orders are equivalent by symmetry
+// ---------------------------------------------------------------------------
+
+TEST(DegenerateTrees, PureStar) {
+  for (NodeId branches = 1; branches <= 6; ++branches) {
+    const Tree tree = gen::star(branches, 4, 1);
+    // Executing the root materializes all leaf files at once.
+    expect_all_algorithms_agree(tree, 4 * branches + 1);
+  }
+}
+
+TEST(DegenerateTrees, StarWithZeroWork) {
+  const Tree tree = gen::star(5, 2, 0);
+  expect_all_algorithms_agree(tree, 10);
+  // With zero works, exactly the leaf files must fit and M = sum suffices.
+  const TraversalResult post = best_postorder(tree);
+  EXPECT_TRUE(check_in_core(tree, post.order, 10).feasible);
+  EXPECT_FALSE(check_in_core(tree, post.order, 9).feasible);
+}
+
+// ---------------------------------------------------------------------------
+// Duplicate weights: ties in every comparator
+// ---------------------------------------------------------------------------
+
+TEST(DegenerateTrees, DuplicateWeightsCaterpillar) {
+  const Tree shape = gen::caterpillar(4, 2, 5, 5, 5);
+  const Weight expected = brute_force_min_memory(shape);
+  expect_all_algorithms_agree(shape, expected);
+}
+
+TEST(DegenerateTrees, DuplicateWeightsRandomShapes) {
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    Prng prng(seed * 0x51ed270b);
+    const Tree shape = testing::seeded_random_tree(seed, 9);
+    const Tree uniform =
+        gen::with_random_weights(shape, 3, 3, 1, 1, prng);  // every f=3, n=1
+    expect_all_algorithms_agree(uniform, brute_force_min_memory(uniform));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Variant transforms on degenerate shapes
+// ---------------------------------------------------------------------------
+
+TEST(DegenerateTrees, ReplacementTransformMatchesDirectSimulation) {
+  const Tree shapes[] = {Tree({kNoNode}, {7}, {0}), gen::chain(5, 3, 0),
+                         gen::star(4, 6, 0), gen::chain(4, 0, 0)};
+  for (const Tree& tree : shapes) {
+    const Tree reduced = replacement_transform(tree);
+    ASSERT_EQ(reduced.size(), tree.size());
+    for (const Traversal& order : all_traversals(tree)) {
+      EXPECT_EQ(replacement_model_peak(tree, order),
+                traversal_peak(reduced, order));
+    }
+  }
+}
+
+TEST(DegenerateTrees, LiuModelChainRoundTrip) {
+  // A 3-node chain in Liu's (x+, x-) model; n_plus >= child n_minus holds.
+  LiuModelInstance instance;
+  instance.parent = {kNoNode, 0, 1};
+  instance.n_plus = {9, 7, 4};
+  instance.n_minus = {2, 3, 3};
+  const Tree reduced = from_liu_model(instance);
+  for (const Traversal& order : all_traversals(reduced)) {
+    const Traversal bottom_up = reverse_traversal(order);
+    EXPECT_EQ(liu_model_peak(instance, bottom_up),
+              in_tree_traversal_peak(reduced, bottom_up));
+  }
+}
+
+TEST(DegenerateTrees, SethiUllmanOnDegenerateShapes) {
+  EXPECT_EQ(sethi_ullman_number(Tree({kNoNode}, {1}, {0})), 1);
+  EXPECT_EQ(sethi_ullman_number(gen::chain(8, 2, 1)), 1);
+  EXPECT_EQ(sethi_ullman_number(gen::star(5, 9, 0)), 5);
+  // Unit-weight pebble instance of a star: Liu's optimum equals the
+  // Sethi–Ullman number via the replacement transform.
+  const Tree star = gen::star(5, 9, 0);
+  const Tree game = replacement_transform(make_unit_tree(star));
+  EXPECT_EQ(liu_optimal(game).peak, sethi_ullman_number(star));
+}
+
+}  // namespace
+}  // namespace treemem

@@ -1,0 +1,163 @@
+// MinIO regression tests on the shared small-tree corpus, covering both the
+// in-core-feasible regime (no writes needed) and the forced-swap regime
+// (max MemReq <= M < optimal peak, where every schedule must evict).
+//
+// The load-bearing relations:
+//   * every heuristic schedule passes Algorithm 2 with the volume it claims;
+//   * the best of the six eviction policies equals the exact per-traversal
+//     DP (exact_minio_fixed_order) on this corpus — a golden equality the
+//     deterministic corpus keeps reproducible;
+//   * the library's traversal x policy candidate sweep never loses to the
+//     postorder-only sweep, and never beats the global exact optimum;
+//   * the global exact optimum is 0 exactly when M reaches the MinMemory
+//     value (Section V ties the two problems together this way).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/check.hpp"
+#include "core/liu.hpp"
+#include "core/minio.hpp"
+#include "core/minio_exact.hpp"
+#include "core/minmem.hpp"
+#include "core/planner.hpp"
+#include "core/postorder.hpp"
+#include "test_util.hpp"
+#include "tree/tree.hpp"
+
+namespace treemem {
+namespace {
+
+constexpr int kCorpusSize = 200;
+constexpr NodeId kMaxNodes = 10;  // exact_minio explores 2^p states
+
+/// Least I/O over the six eviction policies for this traversal, asserting
+/// along the way that each feasible schedule validates under Algorithm 2.
+Weight best_policy_io(const Tree& tree, const Traversal& order, Weight memory) {
+  Weight best = kInfiniteWeight;
+  for (const EvictionPolicy policy : all_eviction_policies()) {
+    const MinIoResult res = minio_heuristic(tree, order, memory, policy);
+    if (!res.feasible) {
+      continue;
+    }
+    const CheckResult check = check_out_of_core(tree, res.schedule, memory);
+    EXPECT_TRUE(check.feasible) << to_string(policy) << ": " << check.reason;
+    EXPECT_EQ(check.io_volume, res.io_volume) << to_string(policy);
+    best = std::min(best, res.io_volume);
+  }
+  return best;
+}
+
+/// Forced-swap budgets for this tree: a few points in [max MemReq, peak).
+std::vector<Weight> swap_budgets(const Tree& tree, Weight optimal_peak) {
+  const Weight lo = tree.max_mem_req();
+  std::vector<Weight> budgets;
+  if (lo >= optimal_peak) {
+    return budgets;  // every budget that admits the tree is in-core feasible
+  }
+  for (int step = 0; step < 3; ++step) {
+    budgets.push_back(lo + (optimal_peak - 1 - lo) * step / 2);
+  }
+  budgets.erase(std::unique(budgets.begin(), budgets.end()), budgets.end());
+  return budgets;
+}
+
+TEST(MinIoProperty, BestPolicyMatchesExactFixedOrderDp) {
+  const auto corpus = testing::small_tree_corpus(kCorpusSize, kMaxNodes);
+  int swap_points = 0;
+  for (std::size_t i = 0; i < corpus.size(); ++i) {
+    const Tree& tree = corpus[i];
+    const Weight optimal_peak = minmem_optimal(tree).peak;
+    for (const Weight memory : swap_budgets(tree, optimal_peak)) {
+      for (const Traversal& order :
+           {best_postorder(tree).order, liu_optimal(tree).order}) {
+        const Weight exact = exact_minio_fixed_order(tree, order, memory);
+        EXPECT_EQ(best_policy_io(tree, order, memory), exact)
+            << "corpus instance " << i << " memory " << memory;
+        EXPECT_GE(exact, divisible_io_lower_bound(tree, order, memory))
+            << "corpus instance " << i << " memory " << memory;
+        ++swap_points;
+      }
+    }
+  }
+  // The corpus must actually exercise the forced-swap regime.
+  EXPECT_GT(swap_points, 100);
+}
+
+TEST(MinIoProperty, PlannerSweepNeverLosesToPostorderOnly) {
+  const auto corpus = testing::small_tree_corpus(kCorpusSize, kMaxNodes);
+  PlannerOptions options;
+  options.try_best_k = true;
+  options.try_lsnf = true;
+  for (std::size_t i = 0; i < corpus.size(); ++i) {
+    const Tree& tree = corpus[i];
+    const Weight optimal_peak = minmem_optimal(tree).peak;
+    const Traversal postorder = best_postorder(tree).order;
+    for (const Weight memory : swap_budgets(tree, optimal_peak)) {
+      const ExecutionPlan plan = plan_execution(tree, memory, options);
+      ASSERT_TRUE(plan.feasible)
+          << "corpus instance " << i << " memory " << memory;
+      const CheckResult check =
+          check_out_of_core(tree, plan.schedule, memory);
+      EXPECT_TRUE(check.feasible) << "corpus instance " << i << " memory "
+                                  << memory << ": " << check.reason;
+      EXPECT_EQ(check.io_volume, plan.io_volume)
+          << "corpus instance " << i << " memory " << memory;
+      // The planner's traversal x policy sweep includes the postorder
+      // candidates, so it can never do worse than postorder alone under
+      // the same policies...
+      Weight postorder_io = kInfiniteWeight;
+      for (const EvictionPolicy policy :
+           {EvictionPolicy::kBestKCombination, EvictionPolicy::kLsnf}) {
+        const MinIoResult res = minio_heuristic(tree, postorder, memory, policy);
+        if (res.feasible) {
+          postorder_io = std::min(postorder_io, res.io_volume);
+        }
+      }
+      EXPECT_LE(plan.io_volume, postorder_io)
+          << "corpus instance " << i << " memory " << memory;
+      // ...and never better than the global exact optimum, which is
+      // strictly positive below the MinMemory value.
+      const Weight global_exact = exact_minio(tree, memory);
+      EXPECT_GE(plan.io_volume, global_exact)
+          << "corpus instance " << i << " memory " << memory;
+      EXPECT_GT(global_exact, 0)
+          << "corpus instance " << i << " memory " << memory
+          << ": below the MinMemory value some write is unavoidable";
+    }
+  }
+}
+
+TEST(MinIoProperty, InCoreFeasibleRegimeWritesNothing) {
+  const auto corpus = testing::small_tree_corpus(kCorpusSize, kMaxNodes, 31);
+  for (std::size_t i = 0; i < corpus.size(); ++i) {
+    const Tree& tree = corpus[i];
+    const MinMemResult mm = minmem_optimal(tree);
+    EXPECT_EQ(exact_minio(tree, mm.peak), 0) << "corpus instance " << i;
+    for (const EvictionPolicy policy : all_eviction_policies()) {
+      const MinIoResult res = minio_heuristic(tree, mm.order, mm.peak, policy);
+      ASSERT_TRUE(res.feasible) << "corpus instance " << i << " "
+                                << to_string(policy);
+      EXPECT_EQ(res.io_volume, 0) << "corpus instance " << i << " "
+                                  << to_string(policy);
+      EXPECT_TRUE(res.schedule.writes.empty())
+          << "corpus instance " << i << " " << to_string(policy);
+    }
+  }
+}
+
+TEST(MinIoProperty, BelowMaxMemReqNothingHelps) {
+  const auto corpus = testing::small_tree_corpus(kCorpusSize, kMaxNodes, 57);
+  for (std::size_t i = 0; i < corpus.size(); ++i) {
+    const Tree& tree = corpus[i];
+    const Weight memory = tree.max_mem_req() - 1;
+    EXPECT_EQ(exact_minio(tree, memory), kInfiniteWeight)
+        << "corpus instance " << i;
+    const MinIoResult res = minio_heuristic(
+        tree, liu_optimal(tree).order, memory, EvictionPolicy::kLsnf);
+    EXPECT_FALSE(res.feasible) << "corpus instance " << i;
+  }
+}
+
+}  // namespace
+}  // namespace treemem

@@ -1,0 +1,98 @@
+// Cross-algorithm property tests on the shared small-tree corpus: every
+// polynomial MinMemory algorithm is validated against the exhaustive
+// bitmask DP, and every reported peak against the Algorithm 1 simulator —
+// tying MinMem and Liu to the optimal bound of the paper (Liu's theorem)
+// rather than only to each other.
+#include <gtest/gtest.h>
+
+#include "core/brute_force.hpp"
+#include "core/check.hpp"
+#include "core/liu.hpp"
+#include "core/minmem.hpp"
+#include "core/postorder.hpp"
+#include "test_util.hpp"
+#include "tree/tree.hpp"
+
+namespace treemem {
+namespace {
+
+constexpr int kCorpusSize = 200;
+constexpr NodeId kMaxNodes = 12;
+
+TEST(MinMemProperty, MatchesBruteForceOnCorpus) {
+  const auto corpus = testing::small_tree_corpus(kCorpusSize, kMaxNodes);
+  for (std::size_t i = 0; i < corpus.size(); ++i) {
+    const Tree& tree = corpus[i];
+    const Weight optimal = brute_force_min_memory(tree);
+    const MinMemResult mm = minmem_optimal(tree);
+    EXPECT_EQ(mm.peak, optimal) << "corpus instance " << i;
+    // The reported peak must be exactly what Algorithm 1 measures for the
+    // returned order, not merely an upper bound.
+    EXPECT_EQ(traversal_peak(tree, mm.order), mm.peak) << "corpus instance "
+                                                       << i;
+  }
+}
+
+TEST(LiuProperty, MatchesBruteForceOnCorpus) {
+  const auto corpus = testing::small_tree_corpus(kCorpusSize, kMaxNodes);
+  for (std::size_t i = 0; i < corpus.size(); ++i) {
+    const Tree& tree = corpus[i];
+    const Weight optimal = brute_force_min_memory(tree);
+    for (const auto strategy :
+         {LiuMergeStrategy::kHeap, LiuMergeStrategy::kStableSort}) {
+      const TraversalResult liu = liu_optimal(tree, strategy);
+      EXPECT_EQ(liu.peak, optimal) << "corpus instance " << i;
+      EXPECT_EQ(traversal_peak(tree, liu.order), liu.peak)
+          << "corpus instance " << i;
+      EXPECT_EQ(liu_optimal_peak(tree, strategy), liu.peak)
+          << "corpus instance " << i;
+    }
+  }
+}
+
+TEST(PostOrderProperty, OptimalAmongPostordersAndAboveLiuBound) {
+  const auto corpus = testing::small_tree_corpus(kCorpusSize, kMaxNodes);
+  for (std::size_t i = 0; i < corpus.size(); ++i) {
+    const Tree& tree = corpus[i];
+    const TraversalResult post = best_postorder(tree);
+    EXPECT_EQ(post.peak, brute_force_best_postorder(tree))
+        << "corpus instance " << i;
+    EXPECT_EQ(traversal_peak(tree, post.order), post.peak)
+        << "corpus instance " << i;
+    EXPECT_EQ(best_postorder_peak(tree), post.peak) << "corpus instance " << i;
+    // Liu's bound: no traversal, postorder or not, beats the optimum.
+    EXPECT_GE(post.peak, brute_force_min_memory(tree)) << "corpus instance "
+                                                       << i;
+  }
+}
+
+TEST(MinMemProperty, CheckInCoreAcceptsAtPeakRejectsBelow) {
+  const auto corpus = testing::small_tree_corpus(kCorpusSize, kMaxNodes, 77);
+  for (std::size_t i = 0; i < corpus.size(); ++i) {
+    const Tree& tree = corpus[i];
+    const MinMemResult mm = minmem_optimal(tree);
+    EXPECT_TRUE(check_in_core(tree, mm.order, mm.peak).feasible)
+        << "corpus instance " << i;
+    if (mm.peak > 0) {
+      // No traversal fits below the optimum, so in particular this one.
+      EXPECT_FALSE(check_in_core(tree, mm.order, mm.peak - 1).feasible)
+          << "corpus instance " << i;
+    }
+  }
+}
+
+TEST(MinMemProperty, InTreeDualityOnCorpus) {
+  const auto corpus = testing::small_tree_corpus(kCorpusSize, kMaxNodes, 123);
+  for (std::size_t i = 0; i < corpus.size(); ++i) {
+    const Tree& tree = corpus[i];
+    const MinMemResult mm = minmem_optimal(tree);
+    // Section III-C: reversing an out-tree traversal gives an in-tree
+    // traversal with the identical peak.
+    EXPECT_EQ(in_tree_traversal_peak(tree, reverse_traversal(mm.order)),
+              mm.peak)
+        << "corpus instance " << i;
+  }
+}
+
+}  // namespace
+}  // namespace treemem

@@ -42,4 +42,22 @@ inline Tree seeded_random_tree(std::uint64_t seed, NodeId size) {
   return gen::random_tree(size, options, prng);
 }
 
+/// The shared small-tree corpus for exhaustive cross-validation against the
+/// brute-force solvers: `count` seeded random trees of 1..max_size nodes,
+/// cycling through sizes and shape/weight regimes (including zero files and
+/// zero works). Deterministic: same arguments, same trees, on every
+/// platform.
+inline std::vector<Tree> small_tree_corpus(int count, NodeId max_size,
+                                           std::uint64_t salt = 0) {
+  std::vector<Tree> corpus;
+  corpus.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    const NodeId size = 1 + static_cast<NodeId>(i) % max_size;
+    corpus.push_back(
+        seeded_random_tree(salt + 0x9e3779b9ULL * static_cast<std::uint64_t>(i),
+                           size));
+  }
+  return corpus;
+}
+
 }  // namespace treemem::testing
