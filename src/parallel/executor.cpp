@@ -1,0 +1,158 @@
+#include "parallel/executor.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <condition_variable>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+#include "support/timer.hpp"
+
+namespace treemem {
+
+namespace {
+
+/// Busy-waits for `seconds` of wall-clock time. A spin (not a sleep) so the
+/// worker genuinely occupies its core, like a real factorization kernel
+/// would — sleeps would let the OS oversubscribe and flatter the speedup.
+void spin_for(double seconds) {
+  if (seconds <= 0.0) {
+    return;
+  }
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::duration<double>(seconds));
+  while (std::chrono::steady_clock::now() < deadline) {
+  }
+}
+
+}  // namespace
+
+ExecutorResult execute_task_tree(const Tree& tree,
+                                 const ExecutorOptions& options) {
+  return execute_task_tree(tree, options, default_task_durations(tree));
+}
+
+ExecutorResult execute_task_tree(const Tree& tree,
+                                 const ExecutorOptions& options,
+                                 const std::vector<double>& durations,
+                                 const TaskBody& body) {
+  const auto p = static_cast<std::size_t>(tree.size());
+  TM_CHECK(options.workers >= 1, "need at least one worker");
+  TM_CHECK(durations.size() == p, "durations size mismatch");
+  for (const double d : durations) {
+    TM_CHECK(d > 0.0, "durations must be positive");
+  }
+
+  ExecutorResult result;
+  ScheduleCore core(tree, options.priority, options.memory_budget, durations);
+  if (!core.all_tasks_fit()) {
+    return result;  // feasible = false: some transient exceeds the budget
+  }
+  if (p == 0) {
+    result.feasible = true;
+    return result;
+  }
+
+  // Scheduler state. Every ScheduleCore call happens under `mutex`; workers
+  // drop it only while a payload runs.
+  std::mutex mutex;
+  std::condition_variable ready_cv;
+  int in_flight = 0;     ///< tasks between try_start() and finish()
+  bool aborted = false;  ///< stall detected or a payload threw
+  std::exception_ptr first_error;
+  std::vector<TaskInterval> gantt(p);
+  Traversal completion_order;
+  completion_order.reserve(p);
+  double total_busy = 0.0;
+  Timer run_timer;
+
+  auto worker_loop = [&](int worker_id) {
+    std::unique_lock<std::mutex> lock(mutex);
+    while (true) {
+      if (aborted || core.done()) {
+        return;
+      }
+      const NodeId node = core.try_start();
+      if (node == kNoNode) {
+        if (in_flight == 0) {
+          // Nothing running, nothing admissible: started subtrees stranded
+          // resident files and no completion will ever free memory — the
+          // greedy schedule is stuck (the simulator's memory deadlock).
+          aborted = true;
+          ready_cv.notify_all();
+          return;
+        }
+        ready_cv.wait(lock);
+        continue;
+      }
+      ++in_flight;
+      lock.unlock();
+      const double start_s = run_timer.elapsed_s();
+      try {
+        if (body) {
+          body(node);
+        } else {
+          spin_for(durations[static_cast<std::size_t>(node)] *
+                   options.spin_seconds_per_unit);
+        }
+      } catch (...) {
+        lock.lock();
+        if (!first_error) {
+          first_error = std::current_exception();
+        }
+        aborted = true;
+        --in_flight;
+        ready_cv.notify_all();
+        return;
+      }
+      const double finish_s = run_timer.elapsed_s();
+      lock.lock();
+      core.finish(node);  // may ready the parent
+      --in_flight;
+      gantt[static_cast<std::size_t>(node)] = {node, worker_id, start_s,
+                                               finish_s};
+      completion_order.push_back(node);
+      total_busy += finish_s - start_s;
+      // Wake everyone: the freed memory / new ready parent may unblock any
+      // subset of the waiters.
+      ready_cv.notify_all();
+    }
+  };
+
+  // More workers than tasks would only park idle threads on the condvar.
+  const int workers = static_cast<int>(std::min<std::size_t>(
+      static_cast<std::size_t>(options.workers), p));
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(workers));
+  for (int w = 0; w < workers; ++w) {
+    threads.emplace_back(worker_loop, w);
+  }
+  for (auto& thread : threads) {
+    thread.join();
+  }
+  if (first_error) {
+    std::rethrow_exception(first_error);
+  }
+
+  result.peak_memory = core.peak_memory();
+  if (!core.done()) {
+    return result;  // feasible = false: the schedule stalled
+  }
+  TM_ASSERT(core.current_memory() == tree.file_size(tree.root()),
+            "execution must end holding exactly the root file");
+  result.feasible = true;
+  double makespan = 0.0;
+  for (const TaskInterval& task : gantt) {
+    makespan = std::max(makespan, task.finish);
+  }
+  result.makespan = makespan;
+  result.speedup = total_busy / std::max(makespan, 1e-300);
+  result.gantt = std::move(gantt);
+  result.completion_order = std::move(completion_order);
+  return result;
+}
+
+}  // namespace treemem

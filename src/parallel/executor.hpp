@@ -1,0 +1,91 @@
+// A real thread-pool executor for memory-bounded multifrontal task trees —
+// the promotion of parallel_sim from model to machine.
+//
+// Semantics mirror the simulator exactly (both drive the same ScheduleCore):
+// a task is ready when all its children finished; while it runs it holds the
+// Eq. 1 transient (children files + n_i + f_i); admission is gated on the
+// shared budget M; ready tasks are tried in priority order, skipping those
+// that do not currently fit. The difference is the clock: `w` worker threads
+// pull tasks from a condvar-guarded ready queue and run real payloads, so
+// makespan/speedup are *measured*, not modeled, while the memory accounting
+// stays exact (an atomic accountant of modeled bytes).
+//
+// Callers plug in either
+//   * a TaskBody — the real per-task payload (e.g. a frontal-matrix
+//     factorization kernel; bench/parallel_tradeoff passes a calibrated
+//     arithmetic burner so measured speedups reflect core throughput), or
+//   * synthetic spin-work via ExecutorOptions::spin_seconds_per_unit, which
+//     busy-waits `duration(i) * spin_seconds_per_unit` wall-clock seconds
+//     per task — a quick way to make measured makespans comparable to the
+//     simulator's modeled ones when workers don't exceed physical cores,
+// or neither, in which case tasks complete instantly and only the
+// scheduling machinery is exercised.
+//
+// Determinism: with w = 1 the executor takes exactly the simulator's
+// scheduling decisions (same greedy rule, same tie-breaks), so its
+// completion order, feasibility and peak match the w = 1 simulation — and
+// the peak equals the serial in-tree checker's Eq. 1 peak of that order.
+// With w > 1 the interleaving (and hence gantt and peak) may vary run to
+// run, but schedule-independent outputs — the set of executed tasks, the
+// per-task payload results, precedence, the budget bound on the peak, and
+// the final resident memory (the root file) — are invariant.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "parallel/schedule_core.hpp"
+#include "tree/tree.hpp"
+
+namespace treemem {
+
+/// Per-task payload, invoked on a worker thread. Must be thread-safe across
+/// distinct nodes (two bodies never run concurrently for the same node; a
+/// node's body runs strictly after all its children's bodies returned).
+/// Exceptions thrown by a body abort the run and are rethrown to the caller
+/// after all workers joined.
+using TaskBody = std::function<void(NodeId)>;
+
+struct ExecutorOptions {
+  int workers = 4;
+  /// Shared memory bound; kInfiniteWeight disables the constraint.
+  Weight memory_budget = kInfiniteWeight;
+  ParallelPriority priority = ParallelPriority::kCriticalPath;
+  /// Synthetic busy-wait per duration unit (seconds), used when no TaskBody
+  /// is supplied. Zero = tasks complete instantly.
+  double spin_seconds_per_unit = 0.0;
+};
+
+struct ExecutorResult {
+  /// False iff the run could not complete under the memory bound: either
+  /// some task's transient exceeds M outright, or the greedy schedule
+  /// stalled with stranded resident files (matching the simulator's notion
+  /// of a memory deadlock).
+  bool feasible = false;
+  /// Measured wall-clock seconds from run start to the last completion.
+  double makespan = 0.0;
+  /// Peak of the accounted shared-memory occupancy; never exceeds the
+  /// budget on feasible runs.
+  Weight peak_memory = 0;
+  /// Σ measured task seconds / makespan — the achieved parallel speedup.
+  double speedup = 0.0;
+  /// Measured intervals (seconds since run start), in node order.
+  std::vector<TaskInterval> gantt;
+  /// Tasks in completion order — a valid bottom-up (in-tree) traversal.
+  Traversal completion_order;
+};
+
+/// Runs the task tree on options.workers threads with default durations
+/// (see default_task_durations) and no payload beyond the optional
+/// spin-work.
+ExecutorResult execute_task_tree(const Tree& tree,
+                                 const ExecutorOptions& options);
+
+/// Full control: explicit durations (they drive priorities and spin-work)
+/// and an optional real payload per task.
+ExecutorResult execute_task_tree(const Tree& tree,
+                                 const ExecutorOptions& options,
+                                 const std::vector<double>& durations,
+                                 const TaskBody& body = {});
+
+}  // namespace treemem

@@ -3,30 +3,12 @@
 #include <algorithm>
 #include <queue>
 
-#include "core/postorder.hpp"
-
 namespace treemem {
-
-const char* to_string(ParallelPriority priority) {
-  switch (priority) {
-    case ParallelPriority::kCriticalPath:
-      return "critical-path";
-    case ParallelPriority::kPostorder:
-      return "postorder";
-    case ParallelPriority::kSmallestWork:
-      return "smallest-work";
-  }
-  return "?";
-}
 
 ParallelScheduleResult simulate_parallel_traversal(
     const Tree& tree, const ParallelOptions& options) {
-  std::vector<double> durations(static_cast<std::size_t>(tree.size()));
-  for (NodeId i = 0; i < tree.size(); ++i) {
-    durations[static_cast<std::size_t>(i)] = static_cast<double>(
-        std::max<Weight>(1, tree.work_size(i) + tree.file_size(i)));
-  }
-  return simulate_parallel_traversal(tree, options, durations);
+  return simulate_parallel_traversal(tree, options,
+                                     default_task_durations(tree));
 }
 
 ParallelScheduleResult simulate_parallel_traversal(
@@ -39,72 +21,11 @@ ParallelScheduleResult simulate_parallel_traversal(
     TM_CHECK(d > 0.0, "durations must be positive");
   }
 
-  // Priority keys (higher = scheduled first).
-  std::vector<double> rank(p, 0.0);
-  switch (options.priority) {
-    case ParallelPriority::kCriticalPath: {
-      // Bottom level: duration of the path from the node to the root.
-      const auto& order = tree.top_down_order();
-      for (const NodeId u : order) {
-        rank[static_cast<std::size_t>(u)] =
-            durations[static_cast<std::size_t>(u)] +
-            (u == tree.root()
-                 ? 0.0
-                 : rank[static_cast<std::size_t>(tree.parent(u))]);
-      }
-      break;
-    }
-    case ParallelPriority::kPostorder: {
-      // Earlier in the (bottom-up) best postorder = higher priority.
-      const Traversal po = reverse_traversal(best_postorder(tree).order);
-      for (std::size_t t = 0; t < po.size(); ++t) {
-        rank[static_cast<std::size_t>(po[t])] =
-            static_cast<double>(p - t);
-      }
-      break;
-    }
-    case ParallelPriority::kSmallestWork: {
-      for (std::size_t i = 0; i < p; ++i) {
-        rank[i] = -durations[i];
-      }
-      break;
-    }
-  }
-
-  // In-tree transient of task i while it runs: children files + n_i + f_i.
-  auto transient = [&](NodeId i) {
-    return tree.child_file_sum(i) + tree.work_size(i) + tree.file_size(i);
-  };
-
   ParallelScheduleResult result;
-  // Quick infeasibility check: every task must fit by itself (with its
-  // children files, which are unavoidable at that moment).
-  if (options.memory_budget < kInfiniteWeight) {
-    for (NodeId i = 0; i < tree.size(); ++i) {
-      if (transient(i) > options.memory_budget) {
-        return result;  // feasible = false
-      }
-    }
+  ScheduleCore core(tree, options.priority, options.memory_budget, durations);
+  if (!core.all_tasks_fit()) {
+    return result;  // feasible = false
   }
-
-  std::vector<NodeId> missing_children(p);
-  for (NodeId i = 0; i < tree.size(); ++i) {
-    missing_children[static_cast<std::size_t>(i)] = tree.num_children(i);
-  }
-
-  // Ready pool ordered by rank (descending), deterministic tie-break.
-  auto readier = [&](NodeId a, NodeId b) {
-    const double ra = rank[static_cast<std::size_t>(a)];
-    const double rb = rank[static_cast<std::size_t>(b)];
-    return ra != rb ? ra > rb : a < b;
-  };
-  std::vector<NodeId> ready;
-  for (NodeId i = 0; i < tree.size(); ++i) {
-    if (tree.is_leaf(i)) {
-      ready.push_back(i);
-    }
-  }
-  std::sort(ready.begin(), ready.end(), readier);
 
   struct Running {
     double finish;
@@ -123,38 +44,17 @@ ParallelScheduleResult simulate_parallel_traversal(
 
   double now = 0.0;
   double total_work = 0.0;
-  // memory = resident output files of finished-but-unconsumed tasks plus
-  // the transient of every running task (children files are attributed to
-  // the running parent once it starts, so they are moved out of `resident`
-  // for the duration).
-  Weight resident = 0;
-  Weight memory = 0;
-  std::size_t finished = 0;
 
   auto try_dispatch = [&]() {
-    bool dispatched = true;
-    while (dispatched && !free_workers.empty()) {
-      dispatched = false;
-      for (std::size_t k = 0; k < ready.size(); ++k) {
-        const NodeId i = ready[k];
-        // Starting i converts its children files from resident storage into
-        // part of its transient; the memory delta is n_i + f_i.
-        const Weight delta = tree.work_size(i) + tree.file_size(i);
-        if (options.memory_budget < kInfiniteWeight &&
-            memory + delta > options.memory_budget) {
-          continue;  // does not fit now; try a lower-priority ready task
-        }
-        const int worker = free_workers.back();
-        free_workers.pop_back();
-        ready.erase(ready.begin() + static_cast<std::ptrdiff_t>(k));
-        memory += delta;
-        resident -= tree.child_file_sum(i);
-        running.push({now + durations[static_cast<std::size_t>(i)], i, worker});
-        total_work += durations[static_cast<std::size_t>(i)];
-        result.peak_memory = std::max(result.peak_memory, memory);
-        dispatched = true;
+    while (!free_workers.empty()) {
+      const NodeId i = core.try_start();
+      if (i == kNoNode) {
         break;
       }
+      const int worker = free_workers.back();
+      free_workers.pop_back();
+      running.push({now + durations[static_cast<std::size_t>(i)], i, worker});
+      total_work += durations[static_cast<std::size_t>(i)];
     }
   };
 
@@ -166,27 +66,18 @@ ParallelScheduleResult simulate_parallel_traversal(
     result.gantt.push_back({done.node, done.worker,
                             now - durations[static_cast<std::size_t>(done.node)],
                             now});
-    ++finished;
-    // Free the transient, keep the output file resident.
-    memory -= transient(done.node);
-    memory += tree.file_size(done.node);
-    resident += tree.file_size(done.node);
+    core.finish(done.node);
     free_workers.push_back(done.worker);
-    const NodeId parent = tree.parent(done.node);
-    if (parent != kNoNode &&
-        --missing_children[static_cast<std::size_t>(parent)] == 0) {
-      ready.insert(std::upper_bound(ready.begin(), ready.end(), parent, readier),
-                   parent);
-    }
     try_dispatch();
   }
 
-  if (finished != p) {
+  result.peak_memory = core.peak_memory();
+  if (!core.done()) {
     // Memory deadlock: tasks remain but none could ever start.
     result.feasible = false;
     return result;
   }
-  TM_ASSERT(memory == tree.file_size(tree.root()),
+  TM_ASSERT(p == 0 || core.current_memory() == tree.file_size(tree.root()),
             "simulation must end holding exactly the root file");
   result.feasible = true;
   result.makespan = now;

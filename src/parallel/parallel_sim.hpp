@@ -15,37 +15,24 @@
 // mean more concurrent fronts and thus more memory — with a tight budget
 // the scheduler serializes (or, if even one task cannot fit, fails), so
 // speedup is bought with memory. bench/parallel_tradeoff quantifies it.
+//
+// All scheduling decisions are shared with the real threaded executor
+// (parallel/executor.hpp) through parallel/schedule_core.hpp; this header
+// only adds the virtual-clock front-end.
 #pragma once
 
-#include <string>
 #include <vector>
 
-#include "core/traversal.hpp"
+#include "parallel/schedule_core.hpp"
 #include "tree/tree.hpp"
 
 namespace treemem {
-
-enum class ParallelPriority {
-  kCriticalPath,  ///< longest duration-weighted path to the root first
-  kPostorder,     ///< follow the serial best-postorder order
-  kSmallestWork,  ///< cheapest ready task first (greedy latency)
-};
-
-const char* to_string(ParallelPriority priority);
 
 struct ParallelOptions {
   int workers = 4;
   /// Shared memory bound; kInfiniteWeight disables the constraint.
   Weight memory_budget = kInfiniteWeight;
   ParallelPriority priority = ParallelPriority::kCriticalPath;
-};
-
-/// One scheduled task instance.
-struct TaskInterval {
-  NodeId node = kNoNode;
-  int worker = -1;
-  double start = 0.0;
-  double finish = 0.0;
 };
 
 struct ParallelScheduleResult {
@@ -59,9 +46,9 @@ struct ParallelScheduleResult {
   std::vector<TaskInterval> gantt;
 };
 
-/// Task durations: proportional to the node's transient footprint
-/// (n_i + f_i, at least 1) — a flop-count proxy adequate for scheduling
-/// studies. Use the explicit overload for custom durations.
+/// Task durations default to the node's transient footprint (n_i + f_i, at
+/// least 1) — see default_task_durations(). Use the explicit overload for
+/// custom durations.
 ParallelScheduleResult simulate_parallel_traversal(const Tree& tree,
                                                    const ParallelOptions& options);
 

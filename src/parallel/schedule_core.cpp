@@ -1,0 +1,146 @@
+#include "parallel/schedule_core.hpp"
+
+#include <algorithm>
+
+#include "core/postorder.hpp"
+
+namespace treemem {
+
+const char* to_string(ParallelPriority priority) {
+  switch (priority) {
+    case ParallelPriority::kCriticalPath:
+      return "critical-path";
+    case ParallelPriority::kPostorder:
+      return "postorder";
+    case ParallelPriority::kSmallestWork:
+      return "smallest-work";
+  }
+  return "?";
+}
+
+std::vector<double> default_task_durations(const Tree& tree) {
+  std::vector<double> durations(static_cast<std::size_t>(tree.size()));
+  for (NodeId i = 0; i < tree.size(); ++i) {
+    durations[static_cast<std::size_t>(i)] = static_cast<double>(
+        std::max<Weight>(1, tree.work_size(i) + tree.file_size(i)));
+  }
+  return durations;
+}
+
+std::vector<double> compute_priority_ranks(
+    const Tree& tree, ParallelPriority priority,
+    const std::vector<double>& durations) {
+  const auto p = static_cast<std::size_t>(tree.size());
+  TM_CHECK(durations.size() == p, "durations size mismatch");
+  std::vector<double> rank(p, 0.0);
+  switch (priority) {
+    case ParallelPriority::kCriticalPath: {
+      // Bottom level: duration of the path from the node to the root.
+      for (const NodeId u : tree.top_down_order()) {
+        rank[static_cast<std::size_t>(u)] =
+            durations[static_cast<std::size_t>(u)] +
+            (u == tree.root()
+                 ? 0.0
+                 : rank[static_cast<std::size_t>(tree.parent(u))]);
+      }
+      break;
+    }
+    case ParallelPriority::kPostorder: {
+      // Earlier in the (bottom-up) best postorder = higher priority.
+      const Traversal po = reverse_traversal(best_postorder(tree).order);
+      for (std::size_t t = 0; t < po.size(); ++t) {
+        rank[static_cast<std::size_t>(po[t])] = static_cast<double>(p - t);
+      }
+      break;
+    }
+    case ParallelPriority::kSmallestWork: {
+      for (std::size_t i = 0; i < p; ++i) {
+        rank[i] = -durations[i];
+      }
+      break;
+    }
+  }
+  return rank;
+}
+
+bool MemoryAccountant::try_acquire(Weight delta) {
+  Weight observed = current_.load(std::memory_order_relaxed);
+  while (true) {
+    if (budget_ < kInfiniteWeight && observed + delta > budget_) {
+      return false;
+    }
+    if (current_.compare_exchange_weak(observed, observed + delta,
+                                       std::memory_order_relaxed)) {
+      raise_peak(observed + delta);
+      return true;
+    }
+  }
+}
+
+void MemoryAccountant::raise_peak(Weight observed) {
+  Weight peak = peak_.load(std::memory_order_relaxed);
+  while (observed > peak &&
+         !peak_.compare_exchange_weak(peak, observed,
+                                      std::memory_order_relaxed)) {
+  }
+}
+
+ScheduleCore::ScheduleCore(const Tree& tree, ParallelPriority priority,
+                           Weight memory_budget,
+                           const std::vector<double>& durations)
+    : tree_(&tree),
+      rank_(compute_priority_ranks(tree, priority, durations)),
+      missing_children_(static_cast<std::size_t>(tree.size())),
+      memory_(memory_budget) {
+  for (NodeId i = 0; i < tree.size(); ++i) {
+    missing_children_[static_cast<std::size_t>(i)] = tree.num_children(i);
+    if (tree.is_leaf(i)) {
+      ready_.push_back(i);
+    }
+  }
+  std::sort(ready_.begin(), ready_.end(),
+            [this](NodeId a, NodeId b) { return before(a, b); });
+}
+
+bool ScheduleCore::all_tasks_fit() const {
+  if (memory_.budget() >= kInfiniteWeight) {
+    return true;
+  }
+  for (NodeId i = 0; i < tree_->size(); ++i) {
+    if (transient(i) > memory_.budget()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+NodeId ScheduleCore::try_start() {
+  for (std::size_t k = 0; k < ready_.size(); ++k) {
+    const NodeId i = ready_[k];
+    // Starting i converts its children files from resident storage into
+    // part of its transient; the admission delta is n_i + f_i.
+    const Weight delta = tree_->work_size(i) + tree_->file_size(i);
+    if (!memory_.try_acquire(delta)) {
+      continue;  // does not fit now; try a lower-priority ready task
+    }
+    ready_.erase(ready_.begin() + static_cast<std::ptrdiff_t>(k));
+    return i;
+  }
+  return kNoNode;
+}
+
+void ScheduleCore::finish(NodeId i) {
+  // Free the transient, keep the output file resident.
+  memory_.adjust(tree_->file_size(i) - transient(i));
+  ++finished_;
+  const NodeId parent = tree_->parent(i);
+  if (parent != kNoNode &&
+      --missing_children_[static_cast<std::size_t>(parent)] == 0) {
+    ready_.insert(
+        std::upper_bound(ready_.begin(), ready_.end(), parent,
+                         [this](NodeId a, NodeId b) { return before(a, b); }),
+        parent);
+  }
+}
+
+}  // namespace treemem

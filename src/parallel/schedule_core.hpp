@@ -1,0 +1,149 @@
+// Scheduling state shared by the parallel simulator and the threaded
+// executor.
+//
+// Both front-ends run the same greedy, memory-bounded list scheduling of the
+// multifrontal task tree: a task is ready when all its children finished;
+// while it runs it holds the Eq. 1 transient (children files + n_i + f_i);
+// admission is gated on a shared budget M; ready tasks are tried in priority
+// order, skipping those that do not currently fit. The simulator advances a
+// virtual clock over modeled durations, the executor runs real threads over
+// real payloads — but every scheduling decision (ready-set maintenance,
+// transient accounting, priority comparison, admission) lives here so the
+// two cannot drift.
+//
+// ScheduleCore itself is NOT thread-safe: the simulator drives it from its
+// event loop and the executor serializes all calls under its scheduler
+// mutex. The MemoryAccountant inside is atomic so memory/peak can be read
+// concurrently without that lock (monitoring, result collection).
+#pragma once
+
+#include <atomic>
+#include <vector>
+
+#include "core/traversal.hpp"
+#include "tree/tree.hpp"
+
+namespace treemem {
+
+enum class ParallelPriority {
+  kCriticalPath,  ///< longest duration-weighted path to the root first
+  kPostorder,     ///< follow the serial best-postorder order
+  kSmallestWork,  ///< cheapest ready task first (greedy latency)
+};
+
+const char* to_string(ParallelPriority priority);
+
+/// One scheduled task instance. The simulator fills modeled times, the
+/// executor measured wall-clock seconds since the start of the run.
+struct TaskInterval {
+  NodeId node = kNoNode;
+  int worker = -1;
+  double start = 0.0;
+  double finish = 0.0;
+};
+
+/// Default task durations: proportional to the node's own footprint
+/// (n_i + f_i, at least 1) — a flop-count proxy adequate for scheduling
+/// studies.
+std::vector<double> default_task_durations(const Tree& tree);
+
+/// Priority keys for every node under `priority` (higher = scheduled
+/// first); ties break toward the smaller node id.
+std::vector<double> compute_priority_ranks(const Tree& tree,
+                                           ParallelPriority priority,
+                                           const std::vector<double>& durations);
+
+/// Budget-gated memory accounting. Lock-free: `try_acquire` admits a task's
+/// start delta only if it fits under the budget, `adjust` applies the
+/// unconditional completion delta (transient freed, output file retained),
+/// and `peak` tracks the largest admitted occupancy — the same
+/// at-dispatch peak the paper's Eq. 1 checkers report.
+class MemoryAccountant {
+ public:
+  explicit MemoryAccountant(Weight budget = kInfiniteWeight)
+      : budget_(budget) {}
+
+  Weight budget() const { return budget_; }
+
+  /// Atomically adds `delta` iff the result stays within the budget.
+  /// Updates the peak on success.
+  bool try_acquire(Weight delta);
+
+  /// Unconditional adjustment (task completion; may be negative or, for
+  /// variant-model trees with n_i < 0, slightly positive — between-step
+  /// residents are not budget-gated, exactly as in the serial model where
+  /// peaks alone determine feasibility).
+  void adjust(Weight delta) {
+    current_.fetch_add(delta, std::memory_order_relaxed);
+  }
+
+  Weight current() const { return current_.load(std::memory_order_relaxed); }
+  Weight peak() const { return peak_.load(std::memory_order_relaxed); }
+
+ private:
+  void raise_peak(Weight observed);
+
+  Weight budget_;
+  std::atomic<Weight> current_{0};
+  std::atomic<Weight> peak_{0};
+};
+
+/// The shared greedy scheduling state machine. Drive it with:
+///   while (!done()) { id = try_start(); ... run the task ...; finish(id); }
+/// interleaving starts and finishes as the front-end's clock (virtual or
+/// real) dictates. `try_start() == kNoNode` with no task in flight means the
+/// greedy schedule is stuck: started subtrees stranded resident files and no
+/// ready task fits — the instance is infeasible under this policy.
+class ScheduleCore {
+ public:
+  ScheduleCore(const Tree& tree, ParallelPriority priority,
+               Weight memory_budget, const std::vector<double>& durations);
+
+  /// The Eq. 1 transient of task i: children files + n_i + f_i.
+  Weight transient(NodeId i) const {
+    return tree_->child_file_sum(i) + tree_->work_size(i) +
+           tree_->file_size(i);
+  }
+
+  /// False iff some task can never start: its own transient exceeds the
+  /// budget, so the instance is infeasible outright.
+  bool all_tasks_fit() const;
+
+  bool has_ready() const { return !ready_.empty(); }
+  std::size_t finished_count() const { return finished_; }
+  bool done() const {
+    return finished_ == static_cast<std::size_t>(tree_->size());
+  }
+
+  /// Pops the highest-priority ready task whose start fits the budget on
+  /// top of the current occupancy and accounts its admission (the delta is
+  /// n_i + f_i: the children files it absorbs are already resident).
+  /// Returns kNoNode when no ready task is admissible right now.
+  NodeId try_start();
+
+  /// Marks i finished: frees its transient, keeps f_i resident until the
+  /// parent consumes it, and readies the parent once its last child is done.
+  void finish(NodeId i);
+
+  Weight current_memory() const { return memory_.current(); }
+  Weight peak_memory() const { return memory_.peak(); }
+  const std::vector<double>& ranks() const { return rank_; }
+
+  /// True when a comes before b in priority order (higher rank first,
+  /// smaller id on ties).
+  bool before(NodeId a, NodeId b) const {
+    const double ra = rank_[static_cast<std::size_t>(a)];
+    const double rb = rank_[static_cast<std::size_t>(b)];
+    return ra != rb ? ra > rb : a < b;
+  }
+
+ private:
+  const Tree* tree_;
+  std::vector<double> rank_;
+  std::vector<NodeId> missing_children_;
+  std::vector<NodeId> ready_;  ///< sorted by priority (best first)
+  MemoryAccountant memory_;
+  std::size_t finished_ = 0;
+};
+
+}  // namespace treemem

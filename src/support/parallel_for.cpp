@@ -1,6 +1,8 @@
 #include "support/parallel_for.hpp"
 
+#include <algorithm>
 #include <atomic>
+#include <cctype>
 #include <cstdlib>
 #include <exception>
 #include <mutex>
@@ -11,9 +13,15 @@ namespace treemem {
 
 unsigned default_thread_count() {
   if (const char* env = std::getenv("TREEMEM_THREADS")) {
-    const long parsed = std::strtol(env, nullptr, 10);
-    if (parsed >= 1) {
-      return static_cast<unsigned>(parsed);
+    // Strict parse: the whole value must be a positive integer, otherwise
+    // the setting is ignored (a typo must not silently change the thread
+    // count mid-experiment). Capped to keep absurd values from exhausting
+    // thread handles.
+    char* end = nullptr;
+    const unsigned long parsed = std::strtoul(env, &end, 10);
+    if (std::isdigit(static_cast<unsigned char>(env[0])) && *end == '\0' &&
+        parsed >= 1) {
+      return static_cast<unsigned>(std::min(parsed, 1024UL));
     }
   }
   const unsigned hw = std::thread::hardware_concurrency();
@@ -33,8 +41,20 @@ void parallel_for(std::size_t count,
     num_threads = static_cast<unsigned>(count);
   }
   if (num_threads <= 1) {
+    // Same contract as the threaded path: every index executes exactly once
+    // on the calling thread and the first exception is rethrown at the end.
+    std::exception_ptr inline_error;
     for (std::size_t i = 0; i < count; ++i) {
-      body(i);
+      try {
+        body(i);
+      } catch (...) {
+        if (!inline_error) {
+          inline_error = std::current_exception();
+        }
+      }
+    }
+    if (inline_error) {
+      std::rethrow_exception(inline_error);
     }
     return;
   }

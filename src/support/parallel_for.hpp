@@ -18,14 +18,18 @@
 namespace treemem {
 
 /// Executes body(i) for every i in [0, count). If num_threads <= 1 (or the
-/// machine is single-core) the loop runs inline. Exceptions thrown by the
-/// body are captured and the first one is rethrown after all threads join.
+/// machine is single-core) the loop runs inline on the calling thread.
+/// Both paths share one contract: every index executes exactly once even if
+/// some bodies throw, and the first exception is rethrown at the end (after
+/// all threads joined, in the threaded case).
 void parallel_for(std::size_t count, const std::function<void(std::size_t)>& body,
                   unsigned num_threads = 0);
 
-/// Number of worker threads parallel_for would use for `num_threads == 0`
-/// (hardware concurrency, overridable via the TREEMEM_THREADS environment
-/// variable — handy for reproducible timing runs).
+/// Number of worker threads parallel_for would use for `num_threads == 0`:
+/// the TREEMEM_THREADS environment variable when it is a well-formed
+/// positive integer (strictly parsed — no trailing garbage — and capped at
+/// 1024; handy for reproducible timing runs), otherwise the hardware
+/// concurrency (at least 1).
 unsigned default_thread_count();
 
 }  // namespace treemem

@@ -40,8 +40,10 @@
 #include "multifrontal/numeric.hpp"
 #include "multifrontal/out_of_core.hpp"
 
-// Parallel scheduling (future-work direction of the paper).
+// Parallel scheduling and execution (future-work direction of the paper).
+#include "parallel/executor.hpp"
 #include "parallel/parallel_sim.hpp"
+#include "parallel/schedule_core.hpp"
 
 // Experiment layer.
 #include "perf/corpus.hpp"

@@ -4,8 +4,12 @@
 
 #include <atomic>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <set>
+#include <string>
+#include <thread>
+#include <vector>
 
 #include "support/ascii_plot.hpp"
 #include "support/check.hpp"
@@ -14,6 +18,7 @@
 #include "support/prng.hpp"
 #include "support/stack_runner.hpp"
 #include "support/text_table.hpp"
+#include "test_util.hpp"
 
 namespace treemem {
 namespace {
@@ -116,6 +121,13 @@ TEST(AsciiPlot, HandlesEmptyInput) {
 }
 
 TEST(StackRunner, RunsDeepRecursion) {
+  // ThreadSanitizer keeps a bounded shadow call stack; a million-deep
+  // recursion overflows it and crashes the runtime itself, so this test
+  // must not run under TSan (a TSan capacity limit, not a bug in
+  // run_with_stack).
+#ifdef TREEMEM_TSAN
+  GTEST_SKIP() << "TSan's shadow stack cannot track 1e6-deep recursion";
+#endif
   // 1e6-deep recursion needs far more than the default 8 MiB stack.
   std::function<std::size_t(std::size_t)> burn = [&](std::size_t depth) -> std::size_t {
     volatile char pad[64] = {0};
@@ -154,6 +166,100 @@ TEST(ParallelFor, WorksSingleThreaded) {
   int sum = 0;
   parallel_for(10, [&](std::size_t i) { sum += static_cast<int>(i); }, 1);
   EXPECT_EQ(sum, 45);
+}
+
+TEST(ParallelFor, InlinePathRunsOnTheCallingThread) {
+  const std::thread::id caller = std::this_thread::get_id();
+  std::vector<std::thread::id> seen(8);
+  parallel_for(8, [&](std::size_t i) { seen[i] = std::this_thread::get_id(); },
+               1);
+  for (const auto& id : seen) {
+    EXPECT_EQ(id, caller);
+  }
+}
+
+TEST(ParallelFor, InlinePathExecutesAllIndicesAndRethrowsFirst) {
+  // Regression: the inline path must share the threaded contract — every
+  // index runs exactly once and the FIRST exception is rethrown at the end,
+  // not thrown mid-loop with the tail skipped.
+  std::vector<int> hits(16, 0);
+  try {
+    parallel_for(16,
+                 [&](std::size_t i) {
+                   ++hits[i];
+                   if (i == 3 || i == 9) {
+                     throw Error("boom at " + std::to_string(i));
+                   }
+                 },
+                 1);
+    FAIL() << "should have rethrown";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("boom at 3"), std::string::npos);
+  }
+  for (const int h : hits) {
+    EXPECT_EQ(h, 1);
+  }
+}
+
+TEST(ParallelFor, ThreadedPathExecutesAllIndicesDespiteExceptions) {
+  std::vector<std::atomic<int>> hits(64);
+  EXPECT_THROW(parallel_for(64,
+                            [&](std::size_t i) {
+                              hits[i].fetch_add(1);
+                              if (i % 5 == 0) {
+                                throw Error("boom");
+                              }
+                            },
+                            4),
+               Error);
+  for (const auto& h : hits) {
+    EXPECT_EQ(h.load(), 1);
+  }
+}
+
+class ThreadsEnvGuard {
+ public:
+  ThreadsEnvGuard() {
+    if (const char* env = std::getenv("TREEMEM_THREADS")) {
+      saved_ = env;
+      had_ = true;
+    }
+  }
+  ~ThreadsEnvGuard() {
+    if (had_) {
+      ::setenv("TREEMEM_THREADS", saved_.c_str(), 1);
+    } else {
+      ::unsetenv("TREEMEM_THREADS");
+    }
+  }
+
+ private:
+  std::string saved_;
+  bool had_ = false;
+};
+
+TEST(ParallelFor, DefaultThreadCountHonorsTreememThreads) {
+  ThreadsEnvGuard guard;
+  ::setenv("TREEMEM_THREADS", "3", 1);
+  EXPECT_EQ(default_thread_count(), 3u);
+  ::setenv("TREEMEM_THREADS", "1", 1);
+  EXPECT_EQ(default_thread_count(), 1u);
+  // Absurd values are capped rather than exhausting thread handles.
+  ::setenv("TREEMEM_THREADS", "999999", 1);
+  EXPECT_EQ(default_thread_count(), 1024u);
+}
+
+TEST(ParallelFor, DefaultThreadCountRejectsMalformedTreememThreads) {
+  ThreadsEnvGuard guard;
+  ::unsetenv("TREEMEM_THREADS");
+  const unsigned fallback = default_thread_count();
+  EXPECT_GE(fallback, 1u);
+  // Invalid settings fall back to hardware concurrency instead of silently
+  // picking a surprising count.
+  for (const char* bad : {"0", "-2", "abc", "4x", " 4", ""}) {
+    ::setenv("TREEMEM_THREADS", bad, 1);
+    EXPECT_EQ(default_thread_count(), fallback) << "value: '" << bad << "'";
+  }
 }
 
 TEST(Check, MessagesCarryContext) {

@@ -7,6 +7,25 @@
 #include "tree/generators.hpp"
 #include "tree/tree.hpp"
 
+// Sanitizer detection, shared so capacity-limited tests (deep recursion
+// blows TSan's shadow stack; ASan's redzones inflate every frame) scale or
+// skip consistently. GCC defines __SANITIZE_*__, Clang goes through
+// __has_feature.
+#if defined(__SANITIZE_THREAD__)
+#define TREEMEM_TSAN 1
+#endif
+#if defined(__SANITIZE_ADDRESS__)
+#define TREEMEM_ASAN 1
+#endif
+#if defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define TREEMEM_TSAN 1
+#endif
+#if __has_feature(address_sanitizer)
+#define TREEMEM_ASAN 1
+#endif
+#endif
+
 namespace treemem::testing {
 
 /// A deterministic zoo of small hand-built trees exercising assorted shapes
