@@ -1,0 +1,142 @@
+// Extension bench: the end-to-end parallel numeric pipeline — corpus
+// matrix → ordering → assembly tree → threaded multifrontal Cholesky.
+//
+// For the smallest corpus matrices under both orderings, factor each
+// instance serially (the engine walked along the reversed best postorder)
+// and with factor_parallel at w ∈ {1, 2, 4, 8}, free and with the modeled
+// budget capped at 1.5× the w = 1 modeled peak. Reported per run: measured
+// factor seconds, speedup over the serial engine, the engine's *measured*
+// peak live entries and the executor's *modeled* Eq. 1 peak — the same
+// quantity in the same units, machine vs. model. Stalled capped runs are
+// reported as such (the greedy scheduler's memory deadlock, not an error).
+#include <iomanip>
+#include <iostream>
+#include <sstream>
+
+#include "bench_common.hpp"
+#include "core/postorder.hpp"
+#include "multifrontal/numeric_parallel.hpp"
+#include "support/csv.hpp"
+#include "support/text_table.hpp"
+#include "support/timer.hpp"
+
+namespace {
+
+using namespace treemem;
+
+std::string fmt(double v, int precision = 2) {
+  std::ostringstream oss;
+  oss << std::fixed << std::setprecision(precision) << v;
+  return oss.str();
+}
+
+int run() {
+  CorpusOptions options = bench::corpus_options();
+  // Numeric factorization is dense-kernel heavy; a moderate slice of the
+  // corpus keeps the smoke run in seconds while exercising real fronts.
+  const auto instances = build_numeric_instances(options, /*max_matrices=*/5);
+  bench::print_header(
+      "Extension — parallel numeric multifrontal Cholesky: serial vs "
+      "threaded, measured vs modeled peak");
+
+  CsvWriter csv(bench::output_dir() + "/numeric_parallel.csv",
+                {"instance", "n", "tree_nodes", "workers", "mode",
+                 "memory_budget", "feasible", "serial_seconds",
+                 "parallel_seconds", "speedup_vs_serial", "measured_peak",
+                 "modeled_peak", "flops"});
+
+  TextTable table({"instance", "n", "serial s", "w=8 s", "speedup",
+                   "measured/modeled peak", "capped w=4"});
+
+  for (const NumericInstance& inst : instances) {
+    const Tree& tree = inst.assembly.tree;
+    const Index n = inst.matrix.size();
+
+    // Serial baseline: the plain engine along the reversed best postorder.
+    Timer serial_timer;
+    const MultifrontalResult serial = multifrontal_cholesky(
+        inst.matrix, inst.assembly,
+        reverse_traversal(best_postorder(tree).order));
+    const double serial_seconds = serial_timer.elapsed_s();
+
+    // The w = 1 modeled peak anchors the capped runs.
+    ParallelFactorOptions w1;
+    w1.workers = 1;
+    const ParallelFactorResult base = factor_parallel(inst.matrix,
+                                                      inst.assembly, w1);
+    TM_CHECK(base.feasible, "unbounded w=1 run must be feasible");
+    const Weight cap = std::max(base.modeled_peak_entries * 3 / 2,
+                                tree.max_mem_req());
+
+    double w8_seconds = 0.0;
+    double w8_speedup = 0.0;
+    Weight w8_measured = 0;
+    Weight w8_modeled = 1;
+    std::string capped_cell = "-";
+
+    for (const int workers : {1, 2, 4, 8}) {
+      struct Mode {
+        const char* label;
+        Weight budget;
+      };
+      const Mode modes[] = {{"free", kInfiniteWeight}, {"capped", cap}};
+      for (const Mode& mode : modes) {
+        if (mode.budget != kInfiniteWeight && workers != 4) {
+          continue;  // one capped point suffices for the smoke narrative
+        }
+        const ParallelFactorResult run = factor_parallel(
+            inst.matrix, inst.assembly, mode.budget, workers);
+        const double speedup =
+            run.feasible ? serial_seconds / std::max(run.factor_seconds, 1e-12)
+                         : 0.0;
+        if (run.feasible) {
+          // The factor must be bit-identical to the serial engine's.
+          TM_CHECK(run.factor.values == serial.factor.values,
+                   "parallel factor diverged from serial on " << inst.name);
+        }
+        csv.write_row(
+            {inst.name, CsvWriter::cell(static_cast<long long>(n)),
+             CsvWriter::cell(static_cast<long long>(tree.size())),
+             CsvWriter::cell(static_cast<long long>(workers)), mode.label,
+             mode.budget == kInfiniteWeight ? std::string("inf")
+                                            : std::to_string(mode.budget),
+             run.feasible ? "1" : "0", CsvWriter::cell(serial_seconds),
+             CsvWriter::cell(run.factor_seconds), CsvWriter::cell(speedup),
+             CsvWriter::cell(static_cast<long long>(run.measured_peak_entries)),
+             CsvWriter::cell(static_cast<long long>(run.modeled_peak_entries)),
+             CsvWriter::cell(static_cast<long long>(run.flops))});
+        if (mode.budget == kInfiniteWeight && workers == 8) {
+          w8_seconds = run.factor_seconds;
+          w8_speedup = speedup;
+          w8_measured = run.measured_peak_entries;
+          w8_modeled = std::max<Weight>(run.modeled_peak_entries, 1);
+        }
+        if (mode.budget != kInfiniteWeight && workers == 4) {
+          capped_cell = run.feasible ? fmt(speedup) + "x" : "stall";
+        }
+      }
+    }
+
+    table.add_row({inst.name, std::to_string(n), fmt(serial_seconds, 3),
+                   fmt(w8_seconds, 3), fmt(w8_speedup),
+                   fmt(static_cast<double>(w8_measured) /
+                       static_cast<double>(w8_modeled)),
+                   capped_cell});
+  }
+
+  std::cout << table.to_string();
+  std::cout << "\nreading: real frontal kernels through the memory-bounded\n"
+               "executor reproduce the serial factor bit for bit at every\n"
+               "worker count, while the engine's measured live entries stay\n"
+               "within the executor's Eq. 1 model (ratio <= 1; equality is\n"
+               "only reachable with perfect amalgamation). Capping the\n"
+               "modeled budget at 1.5x the w=1 peak throttles or stalls the\n"
+               "greedy schedule — the memory/parallelism tension the paper's\n"
+               "conclusion anticipates, now on real numeric payloads.\n";
+  std::cout << "raw data: " << csv.path() << "\n";
+  return 0;
+}
+
+}  // namespace
+
+int main() { return run(); }

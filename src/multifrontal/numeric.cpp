@@ -99,25 +99,241 @@ double CholeskyFactor::value_of(Index row, Index col) const {
   return values[offset];
 }
 
-namespace {
+Weight LiveEntryMeter::raise(Weight delta) {
+  TM_ASSERT(delta >= 0, "LiveEntryMeter::raise needs delta >= 0");
+  const Weight now =
+      current_.fetch_add(delta, std::memory_order_relaxed) + delta;
+  Weight seen = peak_.load(std::memory_order_relaxed);
+  while (now > seen &&
+         !peak_.compare_exchange_weak(seen, now, std::memory_order_relaxed)) {
+  }
+  return now;
+}
 
-/// Live contribution block of a completed supernode (full-square storage,
-/// the paper's accounting convention).
-struct ContributionBlock {
-  std::vector<Index> rows;     ///< global row indices, ascending
-  std::vector<double> values;  ///< dense |rows| x |rows|, column-major
-};
+Weight LiveEntryMeter::lower(Weight delta) {
+  TM_ASSERT(delta >= 0, "LiveEntryMeter::lower needs delta >= 0");
+  return current_.fetch_sub(delta, std::memory_order_relaxed) - delta;
+}
 
-}  // namespace
-
-MultifrontalResult multifrontal_cholesky(const SymmetricMatrix& matrix,
-                                         const AssemblyTree& assembly,
-                                         const Traversal& bottom_up_order) {
+FrontalEngine::FrontalEngine(const SymmetricMatrix& matrix,
+                             const AssemblyTree& assembly)
+    : matrix_(&matrix), assembly_(&assembly) {
   const Index n = matrix.size();
   const Tree& tree = assembly.tree;
   TM_CHECK(assembly.columns == n,
            "assembly tree built for " << assembly.columns
                                       << " columns, matrix has " << n);
+
+  // Member columns per supernode, ascending.
+  members_.assign(static_cast<std::size_t>(tree.size()), {});
+  for (Index j = 0; j < n; ++j) {
+    members_[static_cast<std::size_t>(
+                 assembly.supernode_of[static_cast<std::size_t>(j)])]
+        .push_back(j);
+  }
+  for (auto& m : members_) {
+    std::sort(m.begin(), m.end());
+  }
+
+  // Exact factor structure (column-merge symbolic factorization).
+  factor_.pattern = symbolic_cholesky(matrix.pattern());
+  factor_.values.assign(static_cast<std::size_t>(factor_.pattern.nnz()), 0.0);
+
+  // Symbolic front sizes: |union of the member columns' factor structures|.
+  // The members are the leading front rows, so the union size is the
+  // largest member structure extended by the earlier members — computed
+  // here once so durations/priorities are available before any numeric
+  // work runs.
+  front_size_.assign(static_cast<std::size_t>(tree.size()), 0);
+  std::vector<Index> mark(static_cast<std::size_t>(n), -1);
+  for (NodeId s = 0; s < tree.size(); ++s) {
+    Index count = 0;
+    for (const Index j : members_[static_cast<std::size_t>(s)]) {
+      for (const Index r : factor_.pattern.column(j)) {
+        if (mark[static_cast<std::size_t>(r)] != s) {
+          mark[static_cast<std::size_t>(r)] = s;
+          ++count;
+        }
+      }
+    }
+    front_size_[static_cast<std::size_t>(s)] = count;
+  }
+
+  blocks_.assign(static_cast<std::size_t>(tree.size()), {});
+  transient_at_start_.assign(static_cast<std::size_t>(tree.size()), 0);
+  live_after_.assign(static_cast<std::size_t>(tree.size()), 0);
+}
+
+FrontWorkspace FrontalEngine::make_workspace() const {
+  FrontWorkspace ws;
+  ws.front_pos.assign(static_cast<std::size_t>(matrix_->size()), -1);
+  return ws;
+}
+
+std::vector<double> FrontalEngine::estimated_front_flops() const {
+  std::vector<double> flops(front_size_.size(), 1.0);
+  for (std::size_t s = 0; s < front_size_.size(); ++s) {
+    const double m = static_cast<double>(front_size_[s]);
+    const double eta = static_cast<double>(members_[s].size());
+    // Σ_{k=0..η-1} (m-k)² — the dense partial-Cholesky update volume.
+    double cost = 0.0;
+    for (double k = 0.0; k < eta; k += 1.0) {
+      cost += (m - k) * (m - k);
+    }
+    flops[s] = std::max(1.0, cost);
+  }
+  return flops;
+}
+
+void FrontalEngine::process_front(NodeId s, FrontWorkspace& ws) {
+  const Tree& tree = assembly_->tree;
+  TM_CHECK(s >= 0 && s < tree.size(), "process_front: bad supernode " << s);
+  TM_CHECK(ws.front_pos.size() == static_cast<std::size_t>(matrix_->size()),
+           "process_front: workspace not made by this engine");
+  const SparsePattern& l_pattern = factor_.pattern;
+  const auto& cols = members_[static_cast<std::size_t>(s)];
+
+  // Front rows: union of the member columns' factor structures.
+  ws.rows.clear();
+  for (const Index j : cols) {
+    const auto lc = l_pattern.column(j);
+    ws.rows.insert(ws.rows.end(), lc.begin(), lc.end());
+  }
+  std::sort(ws.rows.begin(), ws.rows.end());
+  ws.rows.erase(std::unique(ws.rows.begin(), ws.rows.end()), ws.rows.end());
+  const std::size_t m = ws.rows.size();
+  const std::size_t eta = cols.size();
+  TM_ASSERT(m == static_cast<std::size_t>(
+                     front_size_[static_cast<std::size_t>(s)]),
+            "symbolic front size drifted from the numeric union at node " << s);
+  // Members are the eta smallest rows of the front (they are mutually
+  // reachable along the etree path inside the supernode; every other row
+  // is a strict ancestor of the top member).
+  for (std::size_t k = 0; k < eta; ++k) {
+    TM_ASSERT(ws.rows[k] == cols[k],
+              "member columns are not the leading front rows at node " << s);
+  }
+  for (std::size_t k = 0; k < m; ++k) {
+    ws.front_pos[static_cast<std::size_t>(ws.rows[k])] = static_cast<Index>(k);
+  }
+
+  ws.front.assign(m * m, 0.0);
+  auto at = [&](std::size_t r, std::size_t c) -> double& {
+    return ws.front[c * m + r];
+  };
+
+  // Assemble the original entries of the member columns (lower part).
+  for (const Index j : cols) {
+    const std::size_t jc = static_cast<std::size_t>(
+        ws.front_pos[static_cast<std::size_t>(j)]);
+    for (const Index r : matrix_->pattern().column(j)) {
+      if (r >= j) {
+        TM_ASSERT(ws.front_pos[static_cast<std::size_t>(r)] >= 0,
+                  "matrix entry outside the front at (" << r << "," << j << ")");
+        at(static_cast<std::size_t>(ws.front_pos[static_cast<std::size_t>(r)]),
+           jc) += matrix_->value_of(r, j);
+      }
+    }
+  }
+
+  // The front is fully allocated while the children contribution blocks are
+  // still resident — that instant is the step's Eq. 1 transient, and the
+  // only point where the meter's peak can rise.
+  transient_at_start_[static_cast<std::size_t>(s)] =
+      meter_.raise(static_cast<Weight>(m * m));
+
+  // Extend-add the children contribution blocks, releasing each as it is
+  // absorbed. Children are walked in tree order (not completion order), so
+  // the floating-point sums — and hence the factor — are schedule-exact.
+  for (const NodeId c : tree.children(s)) {
+    ContributionBlock& cb = blocks_[static_cast<std::size_t>(c)];
+    const std::size_t cm = cb.rows.size();
+    for (std::size_t cc = 0; cc < cm; ++cc) {
+      const Index gcol = cb.rows[cc];
+      TM_ASSERT(ws.front_pos[static_cast<std::size_t>(gcol)] >= 0,
+                "child CB column outside the parent front");
+      const std::size_t fc = static_cast<std::size_t>(
+          ws.front_pos[static_cast<std::size_t>(gcol)]);
+      for (std::size_t cr = cc; cr < cm; ++cr) {
+        const Index grow = cb.rows[cr];
+        const std::size_t fr = static_cast<std::size_t>(
+            ws.front_pos[static_cast<std::size_t>(grow)]);
+        at(fr, fc) += cb.values[cc * cm + cr];
+      }
+    }
+    meter_.lower(static_cast<Weight>(cm * cm));
+    cb.rows.clear();
+    cb.rows.shrink_to_fit();
+    cb.values.clear();
+    cb.values.shrink_to_fit();
+  }
+
+  // Dense partial Cholesky of the leading eta pivots.
+  long long local_flops = 0;
+  for (std::size_t k = 0; k < eta; ++k) {
+    const double pivot = at(k, k);
+    TM_CHECK(pivot > 0.0, "matrix is not positive definite at column "
+                              << cols[k] << " (pivot " << pivot << ")");
+    const double lkk = std::sqrt(pivot);
+    at(k, k) = lkk;
+    ++local_flops;
+    for (std::size_t r = k + 1; r < m; ++r) {
+      at(r, k) /= lkk;
+      ++local_flops;
+    }
+    for (std::size_t c = k + 1; c < m; ++c) {
+      const double lck = at(c, k);
+      if (lck == 0.0) {
+        continue;
+      }
+      for (std::size_t r = c; r < m; ++r) {
+        at(r, c) -= at(r, k) * lck;
+      }
+      local_flops += 2 * static_cast<long long>(m - c);
+    }
+  }
+  flops_.fetch_add(local_flops, std::memory_order_relaxed);
+
+  // Extract the factor columns of the members (disjoint ranges per
+  // supernode, so concurrent fronts never write the same slot).
+  for (std::size_t k = 0; k < eta; ++k) {
+    const Index j = cols[k];
+    const auto lc = l_pattern.column(j);
+    const std::size_t base = static_cast<std::size_t>(
+        l_pattern.col_ptr()[static_cast<std::size_t>(j)]);
+    for (std::size_t i = 0; i < lc.size(); ++i) {
+      const std::size_t fr = static_cast<std::size_t>(
+          ws.front_pos[static_cast<std::size_t>(lc[i])]);
+      factor_.values[base + i] = at(fr, k);
+    }
+  }
+
+  // Store the contribution block (full square, the model's f_s entries)
+  // and release the front. The carve-out convention: the CB was already
+  // counted inside m², so the meter shrinks by m² − (m−η)² in one step and
+  // the peak cannot rise here.
+  ContributionBlock& own = blocks_[static_cast<std::size_t>(s)];
+  const std::size_t cbm = m - eta;
+  own.rows.assign(ws.rows.begin() + static_cast<std::ptrdiff_t>(eta),
+                  ws.rows.end());
+  own.values.assign(cbm * cbm, 0.0);
+  for (std::size_t c = 0; c < cbm; ++c) {
+    for (std::size_t r = c; r < cbm; ++r) {
+      own.values[c * cbm + r] = at(eta + r, eta + c);
+    }
+  }
+  live_after_[static_cast<std::size_t>(s)] =
+      meter_.lower(static_cast<Weight>(m * m - cbm * cbm));
+
+  for (const Index r : ws.rows) {
+    ws.front_pos[static_cast<std::size_t>(r)] = -1;
+  }
+}
+
+MultifrontalResult multifrontal_cholesky(const SymmetricMatrix& matrix,
+                                         const AssemblyTree& assembly,
+                                         const Traversal& bottom_up_order) {
+  const Tree& tree = assembly.tree;
   TM_CHECK(bottom_up_order.size() == static_cast<std::size_t>(tree.size()),
            "traversal size mismatch");
 
@@ -139,162 +355,22 @@ MultifrontalResult multifrontal_cholesky(const SymmetricMatrix& matrix,
     }
   }
 
-  // Member columns per supernode, ascending.
-  std::vector<std::vector<Index>> members(static_cast<std::size_t>(tree.size()));
-  for (Index j = 0; j < n; ++j) {
-    members[static_cast<std::size_t>(
-                assembly.supernode_of[static_cast<std::size_t>(j)])]
-        .push_back(j);
-  }
-  for (auto& m : members) {
-    std::sort(m.begin(), m.end());
-  }
-
-  // Exact factor structure (column-merge symbolic factorization).
-  const SparsePattern l_pattern = symbolic_cholesky(matrix.pattern());
-
+  FrontalEngine engine(matrix, assembly);
+  FrontWorkspace ws = engine.make_workspace();
   MultifrontalResult result;
-  result.factor.pattern = l_pattern;
-  result.factor.values.assign(static_cast<std::size_t>(l_pattern.nnz()), 0.0);
   result.live_after_step.reserve(bottom_up_order.size());
-
-  std::vector<ContributionBlock> blocks(static_cast<std::size_t>(tree.size()));
-  Weight live_entries = 0;
-
-  std::vector<Index> rows;        // front row set
-  std::vector<Index> front_pos(static_cast<std::size_t>(n), -1);
-  std::vector<double> front;      // dense front, column-major
-
   for (const NodeId s : bottom_up_order) {
-    const auto& cols = members[static_cast<std::size_t>(s)];
-
-    // Front rows: union of the member columns' factor structures.
-    rows.clear();
-    for (const Index j : cols) {
-      const auto lc = l_pattern.column(j);
-      rows.insert(rows.end(), lc.begin(), lc.end());
-    }
-    std::sort(rows.begin(), rows.end());
-    rows.erase(std::unique(rows.begin(), rows.end()), rows.end());
-    const std::size_t m = rows.size();
-    const std::size_t eta = cols.size();
-    // Members are the eta smallest rows of the front (they are mutually
-    // reachable along the etree path inside the supernode; every other row
-    // is a strict ancestor of the top member).
-    for (std::size_t k = 0; k < eta; ++k) {
-      TM_ASSERT(rows[k] == cols[k],
-                "member columns are not the leading front rows at node " << s);
-    }
-    for (std::size_t k = 0; k < m; ++k) {
-      front_pos[static_cast<std::size_t>(rows[k])] = static_cast<Index>(k);
-    }
-
-    front.assign(m * m, 0.0);
-    auto at = [&](std::size_t r, std::size_t c) -> double& {
-      return front[c * m + r];
-    };
-
-    // Assemble the original entries of the member columns (lower part).
-    for (const Index j : cols) {
-      const std::size_t jc = static_cast<std::size_t>(
-          front_pos[static_cast<std::size_t>(j)]);
-      for (const Index r : matrix.pattern().column(j)) {
-        if (r >= j) {
-          TM_ASSERT(front_pos[static_cast<std::size_t>(r)] >= 0,
-                    "matrix entry outside the front at (" << r << "," << j << ")");
-          at(static_cast<std::size_t>(front_pos[static_cast<std::size_t>(r)]), jc) +=
-              matrix.value_of(r, j);
-        }
-      }
-    }
-
-    // Extend-add the children contribution blocks. The model's transient
-    // holds the children CBs and the fully allocated front simultaneously,
-    // so account for the peak before releasing them.
-    live_entries += static_cast<Weight>(m * m);
-    result.peak_live_entries = std::max(result.peak_live_entries, live_entries);
-    for (const NodeId c : tree.children(s)) {
-      ContributionBlock& cb = blocks[static_cast<std::size_t>(c)];
-      const std::size_t cm = cb.rows.size();
-      for (std::size_t cc = 0; cc < cm; ++cc) {
-        const Index gcol = cb.rows[cc];
-        TM_ASSERT(front_pos[static_cast<std::size_t>(gcol)] >= 0,
-                  "child CB column outside the parent front");
-        const std::size_t fc = static_cast<std::size_t>(
-            front_pos[static_cast<std::size_t>(gcol)]);
-        for (std::size_t cr = cc; cr < cm; ++cr) {
-          const Index grow = cb.rows[cr];
-          const std::size_t fr = static_cast<std::size_t>(
-              front_pos[static_cast<std::size_t>(grow)]);
-          at(fr, fc) += cb.values[cc * cm + cr];
-        }
-      }
-      live_entries -= static_cast<Weight>(cm * cm);
-      cb.rows.clear();
-      cb.rows.shrink_to_fit();
-      cb.values.clear();
-      cb.values.shrink_to_fit();
-    }
-
-    // Dense partial Cholesky of the leading eta pivots.
-    for (std::size_t k = 0; k < eta; ++k) {
-      const double pivot = at(k, k);
-      TM_CHECK(pivot > 0.0, "matrix is not positive definite at column "
-                                << cols[k] << " (pivot " << pivot << ")");
-      const double lkk = std::sqrt(pivot);
-      at(k, k) = lkk;
-      ++result.flops;
-      for (std::size_t r = k + 1; r < m; ++r) {
-        at(r, k) /= lkk;
-        ++result.flops;
-      }
-      for (std::size_t c = k + 1; c < m; ++c) {
-        const double lck = at(c, k);
-        if (lck == 0.0) {
-          continue;
-        }
-        for (std::size_t r = c; r < m; ++r) {
-          at(r, c) -= at(r, k) * lck;
-        }
-        result.flops += 2 * static_cast<long long>(m - c);
-      }
-    }
-
-    // Extract the factor columns of the members.
-    for (std::size_t k = 0; k < eta; ++k) {
-      const Index j = cols[k];
-      const auto lc = l_pattern.column(j);
-      const std::size_t base = static_cast<std::size_t>(
-          l_pattern.col_ptr()[static_cast<std::size_t>(j)]);
-      for (std::size_t i = 0; i < lc.size(); ++i) {
-        const std::size_t fr = static_cast<std::size_t>(
-            front_pos[static_cast<std::size_t>(lc[i])]);
-        result.factor.values[base + i] = at(fr, k);
-      }
-    }
-
-    // Store the contribution block (full square, the model's f_s entries).
-    ContributionBlock& own = blocks[static_cast<std::size_t>(s)];
-    const std::size_t cbm = m - eta;
-    own.rows.assign(rows.begin() + static_cast<std::ptrdiff_t>(eta), rows.end());
-    own.values.assign(cbm * cbm, 0.0);
-    for (std::size_t c = 0; c < cbm; ++c) {
-      for (std::size_t r = c; r < cbm; ++r) {
-        own.values[c * cbm + r] = at(eta + r, eta + c);
-      }
-    }
-    live_entries += static_cast<Weight>(cbm * cbm);
-    live_entries -= static_cast<Weight>(m * m);
-
-    for (const Index r : rows) {
-      front_pos[static_cast<std::size_t>(r)] = -1;
-    }
-    result.live_after_step.push_back(live_entries);
+    engine.process_front(s, ws);
+    result.live_after_step.push_back(engine.live_entries());
   }
 
   // Root contribution blocks are empty (mu = 1 for etree roots), so all
   // live memory must have drained; anything left indicates a bug.
-  TM_ASSERT(live_entries == 0, "contribution blocks leaked: " << live_entries);
+  TM_ASSERT(engine.live_entries() == 0,
+            "contribution blocks leaked: " << engine.live_entries());
+  result.peak_live_entries = engine.peak_live_entries();
+  result.flops = engine.flops();
+  result.factor = engine.take_factor();
   return result;
 }
 

@@ -1,20 +1,36 @@
 // A numerical multifrontal Cholesky factorization driven by the assembly
-// tree and a planned traversal — the system the paper's model abstracts.
+// tree — the system the paper's model abstracts.
 //
 // This closes the loop on the reproduction: the traversal algorithms
 // operate on the (n_i, f_i) weight model, and this engine executes the
-// *actual* factorization those weights describe. For trees built with
-// perfect amalgamation only, the engine's measured live memory at every
-// step equals the abstract in-tree transient of core/check.hpp exactly
-// (full-square frontal storage, the paper's convention); with relaxed
-// amalgamation the model pads fronts with explicit zeros, so measured
-// memory is bounded by the model. Both facts are asserted in the tests.
+// *actual* factorization those weights describe. The per-front work
+// (allocate front, assemble original entries, extend-add the children's
+// contribution blocks, dense partial Cholesky, emit the contribution
+// block) lives in FrontalEngine::process_front, a reentrant kernel that is
+// safe to run concurrently for distinct supernodes: the serial driver
+// below walks it along a planned traversal, and factor_parallel
+// (multifrontal/numeric_parallel.hpp) dispatches it as the task body of
+// the memory-bounded threaded executor.
+//
+// Measured vs. modeled memory: the engine counts *measured* live factor
+// entries (resident contribution blocks + active fronts) in an atomic
+// meter, following the model's carve-out convention — a front's
+// contribution block is part of the front until the front is released, so
+// per-front occupancy moves m² → m² − Σ(children CBs) → (m−η)² and the
+// meter's peak is only raised when a front is allocated. For trees built
+// with perfect amalgamation only, the measured live entries at every step
+// of a serial schedule equal the abstract Eq. 1 in-tree transient of
+// core/check.hpp exactly (full-square frontal storage, the paper's
+// convention); with relaxed amalgamation the model pads fronts with
+// explicit zeros, so measured memory is bounded by the model. Both facts
+// are asserted in the tests.
 //
 // Scope: double-precision Cholesky of symmetric positive definite matrices;
 // fronts are dense full squares; contribution blocks live until the parent
 // assembles them (any valid bottom-up traversal, not just postorders).
 #pragma once
 
+#include <atomic>
 #include <vector>
 
 #include "core/traversal.hpp"
@@ -63,7 +79,115 @@ struct CholeskyFactor {
   double value_of(Index row, Index col) const;
 };
 
-/// Result of a multifrontal run.
+/// Atomic live-entry meter for the engine's *measured* memory. Increments
+/// are applied with `raise`, which also advances the high-water mark;
+/// decrements (and the carve-out front→CB shrink) go through `lower`,
+/// which never touches the peak — mirroring the at-dispatch peak
+/// convention of the paper's Eq. 1 checkers.
+class LiveEntryMeter {
+ public:
+  /// Adds `delta` >= 0 and returns the new occupancy; raises the peak.
+  Weight raise(Weight delta);
+  /// Subtracts `delta` >= 0 and returns the new occupancy.
+  Weight lower(Weight delta);
+
+  Weight current() const { return current_.load(std::memory_order_relaxed); }
+  Weight peak() const { return peak_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<Weight> current_{0};
+  std::atomic<Weight> peak_{0};
+};
+
+/// Per-thread scratch for one front elimination. Obtain via
+/// FrontalEngine::make_workspace(); a workspace may be reused for any
+/// number of sequential process_front calls but never shared between two
+/// concurrent ones.
+class FrontWorkspace {
+ public:
+  FrontWorkspace() = default;
+
+ private:
+  friend class FrontalEngine;
+  std::vector<Index> rows;       ///< front row set, ascending
+  std::vector<Index> front_pos;  ///< global row → front row, -1 outside
+  std::vector<double> front;     ///< dense front, column-major
+};
+
+/// The reentrant numeric core of the multifrontal factorization: one
+/// instance per factorization run, shared by every worker.
+///
+/// Thread-safety contract: process_front(s) may run concurrently with
+/// process_front(t) for s ≠ t, provided each call owns its workspace and
+/// every child of s completed (with a happens-before edge) before s
+/// starts — exactly what the serial driver and the executor's precedence
+/// guarantee. Contribution-block slots are written once by the owning
+/// supernode and consumed once by its parent; factor columns are disjoint
+/// per supernode; flop and live-entry counters are atomic.
+class FrontalEngine {
+ public:
+  /// Validates that `assembly` matches `matrix` and precomputes the member
+  /// columns, the factor pattern and the per-front sizes.
+  FrontalEngine(const SymmetricMatrix& matrix, const AssemblyTree& assembly);
+
+  FrontWorkspace make_workspace() const;
+
+  /// Executes supernode s end to end: allocate the front, assemble the
+  /// original entries of the member columns, extend-add (and release) the
+  /// children's contribution blocks, dense partial Cholesky of the leading
+  /// η pivots, emit the factor columns and store the contribution block.
+  /// Throws treemem::Error if a pivot is not positive (matrix not SPD).
+  void process_front(NodeId s, FrontWorkspace& ws);
+
+  /// Estimated dense-elimination flops per supernode, from the symbolic
+  /// front sizes — the natural duration/priority proxy for scheduling.
+  std::vector<double> estimated_front_flops() const;
+
+  /// Measured live factor entries right now / at the run's high-water mark
+  /// (full-square storage; multiply by sizeof(double) for bytes).
+  Weight live_entries() const { return meter_.current(); }
+  Weight peak_live_entries() const { return meter_.peak(); }
+
+  /// Measured occupancy right after front s was allocated (its at-dispatch
+  /// transient) / right after it released its front. Only meaningful after
+  /// s was processed; on a single-worker schedule these are the serial
+  /// stepwise profiles.
+  Weight transient_at_start(NodeId s) const {
+    return transient_at_start_[static_cast<std::size_t>(s)];
+  }
+  Weight live_after(NodeId s) const {
+    return live_after_[static_cast<std::size_t>(s)];
+  }
+
+  /// Total floating-point operations of the dense eliminations so far.
+  long long flops() const { return flops_.load(std::memory_order_relaxed); }
+
+  /// The factor (valid once every supernode was processed). take_factor
+  /// moves it out and leaves the engine empty.
+  const CholeskyFactor& factor() const { return factor_; }
+  CholeskyFactor take_factor() { return std::move(factor_); }
+
+ private:
+  /// Live contribution block of a completed supernode (full-square storage,
+  /// the paper's accounting convention).
+  struct ContributionBlock {
+    std::vector<Index> rows;     ///< global row indices, ascending
+    std::vector<double> values;  ///< dense |rows| x |rows|, column-major
+  };
+
+  const SymmetricMatrix* matrix_;
+  const AssemblyTree* assembly_;
+  std::vector<std::vector<Index>> members_;  ///< columns per supernode
+  std::vector<Index> front_size_;            ///< |front rows| per supernode
+  CholeskyFactor factor_;
+  std::vector<ContributionBlock> blocks_;
+  std::vector<Weight> transient_at_start_;
+  std::vector<Weight> live_after_;
+  LiveEntryMeter meter_;
+  std::atomic<long long> flops_{0};
+};
+
+/// Result of a (serial) multifrontal run.
 struct MultifrontalResult {
   CholeskyFactor factor;
   /// Largest number of simultaneously live matrix entries (resident
@@ -77,12 +201,15 @@ struct MultifrontalResult {
   long long flops = 0;
 };
 
-/// Factors `matrix` (already permuted!) with the multifrontal method.
+/// Factors `matrix` (already permuted!) with the multifrontal method,
+/// serially along the given traversal.
 ///
 /// `assembly` must come from build_assembly_tree on matrix.pattern();
 /// `bottom_up_order` is an in-tree traversal of assembly.tree (children
 /// before parents) — e.g. reverse_traversal(minmem_optimal(tree).order).
 /// Throws if the order is invalid or the matrix does not match the tree.
+/// For the threaded counterpart see factor_parallel in
+/// multifrontal/numeric_parallel.hpp.
 MultifrontalResult multifrontal_cholesky(const SymmetricMatrix& matrix,
                                          const AssemblyTree& assembly,
                                          const Traversal& bottom_up_order);

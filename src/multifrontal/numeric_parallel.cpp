@@ -1,0 +1,104 @@
+#include "multifrontal/numeric_parallel.hpp"
+
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "parallel/executor.hpp"
+
+namespace treemem {
+
+namespace {
+
+/// A small pool of per-front workspaces, one in flight per worker. Tasks
+/// check a workspace out for the duration of one front; the pool mutex is
+/// negligible next to the dense kernel it brackets.
+class WorkspacePool {
+ public:
+  WorkspacePool(const FrontalEngine& engine, int workers) {
+    free_.reserve(static_cast<std::size_t>(workers));
+    for (int w = 0; w < workers; ++w) {
+      free_.push_back(engine.make_workspace());
+    }
+  }
+
+  FrontWorkspace acquire() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    TM_ASSERT(!free_.empty(), "workspace pool exhausted: more concurrent "
+                              "fronts than workers");
+    FrontWorkspace ws = std::move(free_.back());
+    free_.pop_back();
+    return ws;
+  }
+
+  void release(FrontWorkspace ws) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    free_.push_back(std::move(ws));
+  }
+
+ private:
+  std::mutex mutex_;
+  std::vector<FrontWorkspace> free_;
+};
+
+}  // namespace
+
+ParallelFactorResult factor_parallel(const SymmetricMatrix& matrix,
+                                     const AssemblyTree& assembly,
+                                     const ParallelFactorOptions& options) {
+  TM_CHECK(options.workers >= 1, "factor_parallel: need at least one worker");
+  FrontalEngine engine(matrix, assembly);
+  WorkspacePool pool(engine, options.workers);
+
+  // Flop-count durations drive both the priority ranks and the executor's
+  // notion of task cost — the real-payload analogue of the scheduling
+  // studies' n_i + f_i proxy.
+  const std::vector<double> durations = engine.estimated_front_flops();
+
+  ExecutorOptions exec_options;
+  exec_options.workers = options.workers;
+  exec_options.memory_budget = options.memory_budget;
+  exec_options.priority = options.priority;
+
+  const ExecutorResult run = execute_task_tree(
+      assembly.tree, exec_options, durations, [&](NodeId node) {
+        FrontWorkspace ws = pool.acquire();
+        try {
+          engine.process_front(node, ws);
+        } catch (...) {
+          pool.release(std::move(ws));  // keep the checkout exception-safe
+          throw;
+        }
+        pool.release(std::move(ws));
+      });
+
+  ParallelFactorResult result;
+  result.feasible = run.feasible;
+  result.modeled_peak_entries = run.peak_memory;
+  result.measured_peak_entries = engine.peak_live_entries();
+  result.flops = engine.flops();
+  result.factor_seconds = run.makespan;
+  result.speedup = run.speedup;
+  result.completion_order = run.completion_order;
+  if (!run.feasible) {
+    return result;  // factor left empty: the run did not complete
+  }
+
+  TM_ASSERT(engine.live_entries() == 0,
+            "contribution blocks leaked: " << engine.live_entries());
+  TM_ASSERT(result.measured_peak_entries <= result.modeled_peak_entries,
+            "measured live entries exceeded the Eq. 1 model: "
+                << result.measured_peak_entries << " > "
+                << result.modeled_peak_entries);
+
+  result.transient_per_step.reserve(result.completion_order.size());
+  result.live_after_step.reserve(result.completion_order.size());
+  for (const NodeId s : result.completion_order) {
+    result.transient_per_step.push_back(engine.transient_at_start(s));
+    result.live_after_step.push_back(engine.live_after(s));
+  }
+  result.factor = engine.take_factor();
+  return result;
+}
+
+}  // namespace treemem

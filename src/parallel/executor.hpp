@@ -10,16 +10,19 @@
 // makespan/speedup are *measured*, not modeled, while the memory accounting
 // stays exact (an atomic accountant of modeled bytes).
 //
-// Callers plug in either
-//   * a TaskBody — the real per-task payload (e.g. a frontal-matrix
-//     factorization kernel; bench/parallel_tradeoff passes a calibrated
-//     arithmetic burner so measured speedups reflect core throughput), or
-//   * synthetic spin-work via ExecutorOptions::spin_seconds_per_unit, which
-//     busy-waits `duration(i) * spin_seconds_per_unit` wall-clock seconds
-//     per task — a quick way to make measured makespans comparable to the
-//     simulator's modeled ones when workers don't exceed physical cores,
-// or neither, in which case tasks complete instantly and only the
-// scheduling machinery is exercised.
+// The primary mode is a real TaskBody payload: the flagship is the
+// parallel numeric multifrontal engine (factor_parallel in
+// multifrontal/numeric_parallel.hpp dispatches FrontalEngine::process_front
+// per assembly-tree task, so the executor schedules actual frontal-matrix
+// kernels); bench/parallel_tradeoff passes a calibrated arithmetic burner
+// so measured speedups reflect core throughput. As fallbacks for
+// validation without a payload, callers can instead use synthetic
+// spin-work via ExecutorOptions::spin_seconds_per_unit, which busy-waits
+// `duration(i) * spin_seconds_per_unit` wall-clock seconds per task (a
+// quick way to make measured makespans comparable to the simulator's
+// modeled ones when workers don't exceed physical cores), or neither, in
+// which case tasks complete instantly and only the scheduling machinery is
+// exercised.
 //
 // Determinism: with w = 1 the executor takes exactly the simulator's
 // scheduling decisions (same greedy rule, same tie-breaks), so its
@@ -51,8 +54,9 @@ struct ExecutorOptions {
   /// Shared memory bound; kInfiniteWeight disables the constraint.
   Weight memory_budget = kInfiniteWeight;
   ParallelPriority priority = ParallelPriority::kCriticalPath;
-  /// Synthetic busy-wait per duration unit (seconds), used when no TaskBody
-  /// is supplied. Zero = tasks complete instantly.
+  /// Fallback when no TaskBody payload is supplied: synthetic busy-wait per
+  /// duration unit (seconds); zero = tasks complete instantly. Real runs
+  /// (factor_parallel, bench payloads) pass a TaskBody and leave this 0.
   double spin_seconds_per_unit = 0.0;
 };
 

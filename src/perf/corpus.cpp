@@ -1,5 +1,6 @@
 #include "perf/corpus.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "order/ordering.hpp"
@@ -125,6 +126,52 @@ std::vector<CorpusInstance> build_corpus_instances(const CorpusOptions& options)
         inst.matrix_nnz = m.pattern.nnz();
         out.push_back(std::move(inst));
       }
+    }
+  }
+  return out;
+}
+
+NumericInstance build_numeric_instance(const CorpusMatrix& source,
+                                       OrderingKind ordering, Index relax,
+                                       std::uint64_t seed) {
+  NumericInstance inst;
+  inst.name = source.name + "/" + to_string(ordering) + "/r" +
+              std::to_string(relax);
+  inst.matrix_name = source.name;
+  inst.ordering = ordering;
+  inst.relax = relax;
+
+  const SymmetricMatrix values = make_spd_matrix(source.pattern, seed);
+  const std::vector<Index> perm = ordering == OrderingKind::kMinDegree
+                                      ? min_degree_order(source.pattern)
+                                      : nested_dissection_order(source.pattern);
+  inst.matrix = values.permuted(perm);
+  AssemblyTreeOptions at;
+  at.relax = relax;
+  inst.assembly = build_assembly_tree(inst.matrix.pattern(), at);
+  return inst;
+}
+
+std::vector<NumericInstance> build_numeric_instances(
+    const CorpusOptions& options, std::size_t max_matrices) {
+  TM_CHECK(!options.relax_values.empty(),
+           "build_numeric_instances: need at least one relax value");
+  std::vector<CorpusMatrix> matrices = build_corpus_matrices(options);
+  std::stable_sort(matrices.begin(), matrices.end(),
+                   [](const CorpusMatrix& a, const CorpusMatrix& b) {
+                     return a.pattern.cols() < b.pattern.cols();
+                   });
+  if (matrices.size() > max_matrices) {
+    matrices.resize(max_matrices);
+  }
+  const Index relax = options.relax_values.front();
+  std::vector<NumericInstance> out;
+  out.reserve(matrices.size() * 2);
+  for (const CorpusMatrix& m : matrices) {
+    for (const OrderingKind ordering :
+         {OrderingKind::kMinDegree, OrderingKind::kNestedDissection}) {
+      out.push_back(
+          build_numeric_instance(m, ordering, relax, options.seed));
     }
   }
   return out;

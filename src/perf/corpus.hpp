@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "multifrontal/numeric.hpp"
 #include "sparse/pattern.hpp"
 #include "support/prng.hpp"
 #include "symbolic/assembly_tree.hpp"
@@ -73,5 +74,33 @@ std::vector<CorpusInstance> build_corpus_instances(
 /// per structure multiply the case count (the paper reaches >3200 trees).
 std::vector<CorpusInstance> build_random_weight_instances(
     const CorpusOptions& options = {}, int replicas = 2);
+
+/// One *numeric* pipeline instance: seeded SPD values on a corpus pattern,
+/// permuted by the chosen ordering, plus the assembly tree built on the
+/// permuted pattern — everything multifrontal_cholesky / factor_parallel
+/// consume. The weighted tree (instance.assembly.tree) carries the same
+/// n_i/f_i the scheduling experiments use, so modeled and measured memory
+/// speak the same units.
+struct NumericInstance {
+  std::string name;  ///< "<matrix>/<ordering>/r<relax>"
+  std::string matrix_name;
+  OrderingKind ordering;
+  Index relax = 1;
+  SymmetricMatrix matrix;  ///< permuted: factor this directly
+  AssemblyTree assembly;   ///< built on matrix.pattern()
+};
+
+/// Builds the numeric instance of one corpus matrix under one ordering and
+/// amalgamation level. Deterministic in `seed`.
+NumericInstance build_numeric_instance(const CorpusMatrix& source,
+                                       OrderingKind ordering, Index relax,
+                                       std::uint64_t seed);
+
+/// Numeric instances for the `max_matrices` *smallest* corpus matrices (by
+/// dimension) under `options`, one per (matrix, ordering) pair with the
+/// first relax value of `options.relax_values` — the corpus slice the
+/// parallel-numeric bench and tests sweep.
+std::vector<NumericInstance> build_numeric_instances(
+    const CorpusOptions& options = {}, std::size_t max_matrices = 5);
 
 }  // namespace treemem

@@ -38,6 +38,7 @@
 // Numerical multifrontal engine.
 #include "multifrontal/disk_model.hpp"
 #include "multifrontal/numeric.hpp"
+#include "multifrontal/numeric_parallel.hpp"
 #include "multifrontal/out_of_core.hpp"
 
 // Parallel scheduling and execution (future-work direction of the paper).

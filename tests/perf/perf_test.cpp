@@ -8,6 +8,7 @@
 #include "core/liu.hpp"
 #include "core/minmem.hpp"
 #include "core/postorder.hpp"
+#include "multifrontal/numeric_parallel.hpp"
 #include "perf/corpus.hpp"
 #include "perf/profile.hpp"
 
@@ -103,6 +104,39 @@ TEST(Corpus, InstancesAreDeterministicAndUsable) {
     EXPECT_EQ(liu.peak, mm.peak) << a[i].name;
     EXPECT_GE(best_postorder(tree).peak, liu.peak) << a[i].name;
     EXPECT_EQ(traversal_peak(tree, liu.order), liu.peak);
+  }
+}
+
+TEST(Corpus, NumericInstancesDriveTheParallelPipeline) {
+  // End-to-end regression guard: the two smallest corpus matrices, through
+  // matrix -> ordering -> assembly tree -> parallel numeric factorization,
+  // at both orderings — the same path bench/numeric_parallel sweeps.
+  CorpusOptions options;
+  options.scale = 0.05;
+  const auto instances = build_numeric_instances(options, /*max_matrices=*/2);
+  ASSERT_EQ(instances.size(), 4u);  // 2 matrices x 2 orderings
+  for (const NumericInstance& inst : instances) {
+    ASSERT_EQ(inst.assembly.columns, inst.matrix.size()) << inst.name;
+    const MultifrontalResult serial = multifrontal_cholesky(
+        inst.matrix, inst.assembly,
+        reverse_traversal(best_postorder(inst.assembly.tree).order));
+    EXPECT_LT(relative_residual(inst.matrix, serial.factor), 1e-12)
+        << inst.name;
+    const ParallelFactorResult parallel =
+        factor_parallel(inst.matrix, inst.assembly, kInfiniteWeight,
+                        /*workers=*/4);
+    ASSERT_TRUE(parallel.feasible) << inst.name;
+    EXPECT_EQ(parallel.factor.values, serial.factor.values) << inst.name;
+    EXPECT_LE(parallel.measured_peak_entries, parallel.modeled_peak_entries)
+        << inst.name;
+  }
+  // Determinism across rebuilds: the corpus is seeded end to end.
+  const auto again = build_numeric_instances(options, 2);
+  ASSERT_EQ(again.size(), instances.size());
+  for (std::size_t i = 0; i < instances.size(); ++i) {
+    EXPECT_EQ(again[i].name, instances[i].name);
+    EXPECT_EQ(again[i].assembly.tree.parents(),
+              instances[i].assembly.tree.parents());
   }
 }
 
