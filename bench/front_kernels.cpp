@@ -1,0 +1,174 @@
+// Extension bench: the dense front-kernel microbenchmark — kernel × front
+// size × block size, GFLOP/s per cell, into front_kernels.csv.
+//
+// Synthesizes deterministic dense SPD fronts (the multifrontal engine's
+// inner payload, isolated from the tree) and times partial_factor for the
+// scalar reference, the cache-blocked kernel and the parallel-tiled kernel
+// across block sizes, at both a full Cholesky (η = m) and the
+// representative partial front (η = m/2). Per cell it also cross-checks
+// the result against the scalar reference — blocked must match bit for
+// bit, parallel within the residual contract — so a kernel regression
+// cannot hide behind a fast wrong answer.
+//
+// TREEMEM_SCALE ≥ 2 adds larger fronts (the regime where cache blocking
+// and intra-front parallelism pay); the parallel kernel's worker count
+// honors TREEMEM_THREADS via default_thread_count.
+#include <cmath>
+#include <iomanip>
+#include <iostream>
+#include <sstream>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "dense/front_kernel.hpp"
+#include "dense/spd_front.hpp"
+#include "support/csv.hpp"
+#include "support/parallel_for.hpp"
+#include "support/text_table.hpp"
+#include "support/timer.hpp"
+
+namespace {
+
+using namespace treemem;
+
+std::string fmt(double v, int precision = 2) {
+  std::ostringstream oss;
+  oss << std::fixed << std::setprecision(precision) << v;
+  return oss.str();
+}
+
+struct Cell {
+  KernelConfig config;
+  double seconds = 0.0;
+  long long flops = 0;
+  bool bit_identical = false;
+};
+
+int run() {
+  const double scale = bench::scale_from_env();
+  std::vector<std::size_t> sizes = {64, 128, 256, 512};
+  if (scale >= 2.0) {
+    sizes.push_back(768);
+  }
+  if (scale >= 4.0) {
+    sizes.push_back(1024);
+  }
+  const std::size_t block_sizes[] = {16, 48, 96};
+
+  bench::print_header(
+      "Extension — dense front kernels: scalar vs cache-blocked vs "
+      "parallel-tiled, GFLOP/s");
+
+  CsvWriter csv(bench::output_dir() + "/front_kernels.csv",
+                {"kernel", "block_size", "workers", "m", "eta", "seconds",
+                 "gflops", "bit_identical_to_scalar"});
+  TextTable table({"m", "eta", "scalar GF/s", "best blocked GF/s (nb)",
+                   "best parallel GF/s (nb)", "blocked speedup"});
+
+  const unsigned workers = default_thread_count();
+  for (const std::size_t m : sizes) {
+    for (const std::size_t eta : {m, m / 2}) {
+      if (eta == 0) {
+        continue;
+      }
+      const std::vector<double> original = make_dense_spd_front(m, m + eta);
+      std::vector<double> reference = original;
+      make_front_kernel({})->partial_factor(reference.data(), m, eta,
+                                            nullptr);
+
+      std::vector<Cell> cells;
+      cells.push_back({KernelConfig{}, 0.0, 0, true});
+      for (const KernelKind kind :
+           {KernelKind::kBlocked, KernelKind::kParallelTiled}) {
+        for (const std::size_t nb : block_sizes) {
+          KernelConfig config;
+          config.kind = kind;
+          config.block_size = nb;
+          if (kind == KernelKind::kParallelTiled) {
+            // Force the fork/join path on every panel: these cells must
+            // measure intra-front parallelism (including its overhead on
+            // fronts below the production gate), not silently re-measure
+            // the blocked kernel, or the CSV's workers column would lie.
+            config.min_parallel_volume = 0;
+          }
+          cells.push_back({config, 0.0, 0, false});
+        }
+      }
+
+      const int reps = m >= 512 ? 1 : 3;
+      double scalar_gflops = 1e-12;
+      double best_blocked = 0.0, best_parallel = 0.0;
+      std::size_t best_blocked_nb = 0, best_parallel_nb = 0;
+      for (Cell& cell : cells) {
+        const auto kernel = make_front_kernel(cell.config);
+        std::vector<double> work;
+        cell.seconds = bench::median_time_s(
+            [&] {
+              work = original;
+              cell.flops = kernel->partial_factor(work.data(), m, eta,
+                                                  nullptr);
+            },
+            reps);
+        cell.bit_identical = work == reference;
+        if (cell.config.kind == KernelKind::kBlocked) {
+          // The blocked kernel preserves the reference's per-entry update
+          // order exactly; anything else is a kernel bug.
+          TM_CHECK(cell.bit_identical,
+                   "blocked kernel diverged from the scalar reference at m="
+                       << m << " nb=" << cell.config.block_size);
+        } else {
+          TM_CHECK(relative_frobenius_distance(reference, work) <= 1e-12,
+                   "kernel " << to_string(cell.config.kind)
+                             << " violated the residual contract at m=" << m);
+        }
+        const double gflops = static_cast<double>(cell.flops) /
+                              std::max(cell.seconds, 1e-12) / 1e9;
+        if (cell.config.kind == KernelKind::kScalar) {
+          scalar_gflops = gflops;
+        } else if (cell.config.kind == KernelKind::kBlocked) {
+          if (gflops > best_blocked) {
+            best_blocked = gflops;
+            best_blocked_nb = cell.config.block_size;
+          }
+        } else if (gflops > best_parallel) {
+          best_parallel = gflops;
+          best_parallel_nb = cell.config.block_size;
+        }
+        csv.write_row(
+            {to_string(cell.config.kind),
+             CsvWriter::cell(static_cast<long long>(cell.config.block_size)),
+             CsvWriter::cell(static_cast<long long>(
+                 cell.config.kind == KernelKind::kParallelTiled ? workers
+                                                                : 1)),
+             CsvWriter::cell(static_cast<long long>(m)),
+             CsvWriter::cell(static_cast<long long>(eta)),
+             CsvWriter::cell(cell.seconds), CsvWriter::cell(gflops),
+             cell.bit_identical ? "1" : "0"});
+      }
+      table.add_row({std::to_string(m), std::to_string(eta),
+                     fmt(scalar_gflops),
+                     fmt(best_blocked) + " (" +
+                         std::to_string(best_blocked_nb) + ")",
+                     fmt(best_parallel) + " (" +
+                         std::to_string(best_parallel_nb) + ")",
+                     fmt(best_blocked / scalar_gflops) + "x"});
+    }
+  }
+
+  std::cout << table.to_string();
+  std::cout << "\nreading: the cache-blocked kernel streams the trailing\n"
+               "matrix once per panel instead of once per pivot, so its\n"
+               "advantage over the scalar reference grows with the front\n"
+               "(the multifrontal root-front regime); the parallel-tiled\n"
+               "kernel adds intra-front threads on top for the largest\n"
+               "fronts (workers = " +
+                   std::to_string(workers) +
+                   " here). Blocked results are checked\n"
+                   "bit-identical to the scalar reference on every cell.\n";
+  std::cout << "raw data: " << csv.path() << "\n";
+  return 0;
+}
+
+}  // namespace
+
+int main() { return run(); }

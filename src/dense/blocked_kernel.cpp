@@ -1,0 +1,40 @@
+#include "dense/kernel_detail.hpp"
+
+namespace treemem::detail {
+
+namespace {
+
+/// Cache-blocked right-looking kernel: panels of `block_size` pivots are
+/// factored in place, then the whole panel is applied to the trailing
+/// columns in one pass. The trailing matrix is streamed once per panel
+/// instead of once per pivot — a block_size-fold cut in memory traffic —
+/// while each trailing column stays register/L1-hot across the panel's
+/// pivots. Per-entry update order is unchanged from the scalar reference,
+/// so the factor is bit-identical.
+class BlockedKernel final : public FrontKernel {
+ public:
+  explicit BlockedKernel(std::size_t block_size) : block_size_(block_size) {}
+
+  const char* name() const override { return "blocked"; }
+  KernelKind kind() const override { return KernelKind::kBlocked; }
+
+  long long trailing_update(double* front, std::size_t m, std::size_t k0,
+                            std::size_t nb) const override {
+    return update_column_range(front, m, k0, nb, k0 + nb, m);
+  }
+
+ protected:
+  std::size_t panel_width() const override { return block_size_; }
+
+ private:
+  std::size_t block_size_;
+};
+
+}  // namespace
+
+std::unique_ptr<const FrontKernel> make_blocked_kernel(
+    std::size_t block_size) {
+  return std::make_unique<BlockedKernel>(block_size);
+}
+
+}  // namespace treemem::detail

@@ -1,0 +1,204 @@
+#include "dense/front_kernel.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+
+#include "dense/kernel_detail.hpp"
+#include "support/check.hpp"
+
+namespace treemem {
+
+const char* to_string(KernelKind kind) {
+  switch (kind) {
+    case KernelKind::kScalar:
+      return "scalar";
+    case KernelKind::kBlocked:
+      return "blocked";
+    case KernelKind::kParallelTiled:
+      return "parallel";
+  }
+  return "?";
+}
+
+KernelConfig kernel_config_from_env(KernelConfig base) {
+  const char* env = std::getenv("TREEMEM_KERNEL");
+  if (env == nullptr || *env == '\0') {
+    return base;
+  }
+  // Strict parse, mirroring TREEMEM_THREADS: the whole value must be
+  // `<name>` or `<name>:<positive block size>`; anything else leaves the
+  // compiled-in default untouched (a typo must not silently switch the
+  // kernel mid-experiment).
+  const char* colon = std::strchr(env, ':');
+  const std::size_t name_len =
+      colon ? static_cast<std::size_t>(colon - env) : std::strlen(env);
+  KernelKind kind;
+  if (std::strncmp(env, "scalar", name_len) == 0 && name_len == 6) {
+    kind = KernelKind::kScalar;
+  } else if (std::strncmp(env, "blocked", name_len) == 0 && name_len == 7) {
+    kind = KernelKind::kBlocked;
+  } else if (std::strncmp(env, "parallel", name_len) == 0 && name_len == 8) {
+    kind = KernelKind::kParallelTiled;
+  } else {
+    return base;
+  }
+  std::size_t block_size = base.block_size;
+  if (colon != nullptr) {
+    char* end = nullptr;
+    const unsigned long parsed = std::strtoul(colon + 1, &end, 10);
+    if (!std::isdigit(static_cast<unsigned char>(colon[1])) || *end != '\0' ||
+        parsed < 1 || parsed > 4096) {
+      return base;
+    }
+    block_size = static_cast<std::size_t>(parsed);
+  }
+  base.kind = kind;
+  base.block_size = block_size;
+  return base;
+}
+
+namespace detail {
+
+long long update_column_range(double* front, std::size_t m, std::size_t k0,
+                              std::size_t nb, std::size_t c_begin,
+                              std::size_t c_end) {
+  // Per trailing column: gather the panel pivots with a nonzero
+  // multiplier (the zero skip is shared with the scalar reference — skips
+  // must match for bit-identical signed zeros and flop counts), then apply
+  // them four at a time in one pass over the column. The chained
+  // subtractions keep every entry's update sequence exactly the
+  // reference's ascending-k order — bit-identical results — while cutting
+  // the passes over the (write-hot) trailing column four-fold.
+  constexpr std::size_t kChunk = 64;
+  const double* panel_col[kChunk];
+  double mult[kChunk];
+  long long flops = 0;
+  for (std::size_t c = c_begin; c < c_end; ++c) {
+    double* const colc = front + c * m;
+    for (std::size_t kc = k0; kc < k0 + nb; kc += kChunk) {
+      const std::size_t k_hi = std::min(k0 + nb, kc + kChunk);
+      std::size_t count = 0;
+      for (std::size_t k = kc; k < k_hi; ++k) {
+        const double lck = front[k * m + c];  // at(c, k)
+        if (lck != 0.0) {
+          panel_col[count] = front + k * m;
+          mult[count] = lck;
+          ++count;
+        }
+      }
+      flops +=
+          2 * static_cast<long long>(m - c) * static_cast<long long>(count);
+      std::size_t i = 0;
+      for (; i + 4 <= count; i += 4) {
+        const double* const p0 = panel_col[i];
+        const double* const p1 = panel_col[i + 1];
+        const double* const p2 = panel_col[i + 2];
+        const double* const p3 = panel_col[i + 3];
+        const double l0 = mult[i];
+        const double l1 = mult[i + 1];
+        const double l2 = mult[i + 2];
+        const double l3 = mult[i + 3];
+        for (std::size_t r = c; r < m; ++r) {
+          colc[r] = (((colc[r] - p0[r] * l0) - p1[r] * l1) - p2[r] * l2) -
+                    p3[r] * l3;
+        }
+      }
+      for (; i < count; ++i) {
+        const double* const colk = panel_col[i];
+        const double lck = mult[i];
+        for (std::size_t r = c; r < m; ++r) {
+          colc[r] -= colk[r] * lck;
+        }
+      }
+    }
+  }
+  return flops;
+}
+
+}  // namespace detail
+
+long long FrontKernel::partial_factor(double* front, std::size_t m,
+                                      std::size_t eta,
+                                      const Index* member_columns) const {
+  TM_CHECK(eta <= m, "partial_factor: eta " << eta << " exceeds front size "
+                                            << m);
+  const std::size_t nb = std::max<std::size_t>(1, panel_width());
+  long long flops = 0;
+  for (std::size_t k0 = 0; k0 < eta; k0 += nb) {
+    const std::size_t width = std::min(nb, eta - k0);
+    flops += factor_panel(front, m, k0, width, member_columns);
+    if (k0 + width < m) {
+      flops += trailing_update(front, m, k0, width);
+    }
+  }
+  return flops;
+}
+
+long long FrontKernel::factor_panel(double* front, std::size_t m,
+                                    std::size_t k0, std::size_t nb,
+                                    const Index* member_columns) const {
+  long long flops = 0;
+  auto at = [&](std::size_t r, std::size_t c) -> double& {
+    return front[c * m + r];
+  };
+  for (std::size_t k = k0; k < k0 + nb; ++k) {
+    const double pivot = at(k, k);
+    TM_CHECK(pivot > 0.0,
+             "matrix is not positive definite at column "
+                 << (member_columns ? member_columns[k]
+                                    : static_cast<Index>(k))
+                 << " (pivot " << pivot << ")");
+    const double lkk = std::sqrt(pivot);
+    at(k, k) = lkk;
+    ++flops;
+    for (std::size_t r = k + 1; r < m; ++r) {
+      at(r, k) /= lkk;
+      ++flops;
+    }
+    // Right-looking update of the rest of the panel only; trailing columns
+    // get this pivot later, in the same ascending-k order, via
+    // trailing_update.
+    flops += detail::update_column_range(front, m, k, 1, k + 1, k0 + nb);
+  }
+  return flops;
+}
+
+void FrontKernel::extend_add(double* front, std::size_t m,
+                             const Index* front_pos, const Index* cb_rows,
+                             std::size_t cm, const double* cb_values) const {
+  for (std::size_t cc = 0; cc < cm; ++cc) {
+    const Index gcol = cb_rows[cc];
+    TM_ASSERT(front_pos[static_cast<std::size_t>(gcol)] >= 0,
+              "child CB column outside the parent front");
+    const std::size_t fc =
+        static_cast<std::size_t>(front_pos[static_cast<std::size_t>(gcol)]);
+    double* const colf = front + fc * m;
+    for (std::size_t cr = cc; cr < cm; ++cr) {
+      const Index grow = cb_rows[cr];
+      const std::size_t fr =
+          static_cast<std::size_t>(front_pos[static_cast<std::size_t>(grow)]);
+      colf[fr] += cb_values[cc * cm + cr];
+    }
+  }
+}
+
+std::unique_ptr<const FrontKernel> make_front_kernel(
+    const KernelConfig& config) {
+  const std::size_t nb = std::max<std::size_t>(1, config.block_size);
+  switch (config.kind) {
+    case KernelKind::kScalar:
+      return detail::make_scalar_kernel();
+    case KernelKind::kBlocked:
+      return detail::make_blocked_kernel(nb);
+    case KernelKind::kParallelTiled:
+      return detail::make_parallel_tiled_kernel(nb, config.workers,
+                                                config.min_parallel_volume);
+  }
+  TM_CHECK(false, "make_front_kernel: unknown kernel kind");
+  return nullptr;  // unreachable
+}
+
+}  // namespace treemem

@@ -1,0 +1,139 @@
+// Blocked dense front kernels — the dense math of the multifrontal engine,
+// extracted behind a pluggable interface.
+//
+// FrontalEngine (multifrontal/numeric.hpp) owns the sparse choreography of
+// a front (row-set union, original-entry assembly, contribution-block slot
+// protocol, live-entry metering); everything dense — the partial Cholesky
+// of the leading η pivots and the scatter-add of a child's contribution
+// block — goes through a FrontKernel. Three implementations:
+//
+//   * scalar        — the original right-looking scalar loop (panel width
+//                     1), the bit-exactness reference;
+//   * blocked       — cache-blocked right-looking: panels of `block_size`
+//                     columns are factored, then the trailing columns
+//                     receive all panel updates in one pass, so the
+//                     trailing matrix is streamed once per panel instead of
+//                     once per pivot;
+//   * parallel      — the blocked kernel with the trailing update split
+//                     into column tiles dispatched over parallel_for
+//                     (support/parallel_for.hpp), giving the large root
+//                     fronts — the serial tail of tree-level scheduling —
+//                     intra-front parallelism.
+//
+// Exactness contract: every kernel applies, to every entry, exactly the
+// scalar reference's update sequence — per entry (r, c) the pivot updates
+// arrive in ascending k with one subtraction each, and the zero-multiplier
+// skip is shared — so `scalar` and `blocked` produce bit-identical factors
+// (pinned per-run by tests/dense and across the 56-instance corpus by
+// tests/multifrontal/numeric_parallel_test.cpp). The `parallel` kernel's
+// *contract* is only a small relative residual (room for future
+// reassociating/FMA variants), but the current implementation tiles over
+// disjoint columns without reassociating, so it too is bit-identical today
+// — tests pin the contract and, separately, the present stronger property.
+//
+// Flop accounting is identical across kernels (same counting convention,
+// same zero skips), so serial-vs-parallel flop equality tests hold under
+// any kernel.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+
+#include "sparse/pattern.hpp"  // Index
+
+namespace treemem {
+
+enum class KernelKind {
+  kScalar,        ///< right-looking scalar reference (panel width 1)
+  kBlocked,       ///< cache-blocked panels, serial trailing update
+  kParallelTiled, ///< blocked + parallel_for over trailing column tiles
+};
+
+const char* to_string(KernelKind kind);
+
+/// Selection + tuning knobs for make_front_kernel, threaded through
+/// multifrontal_cholesky and factor_parallel.
+struct KernelConfig {
+  KernelKind kind = KernelKind::kScalar;
+  /// Panel width and trailing-update tile width of the blocked kernels
+  /// (clamped to >= 1; the scalar reference ignores it). 48 keeps a panel
+  /// of a ~2k-row front inside L2 while amortizing the per-panel pass.
+  std::size_t block_size = 48;
+  /// Worker threads for the parallel kernel's trailing updates; 0 defers
+  /// to default_thread_count() (which honors TREEMEM_THREADS).
+  unsigned workers = 0;
+  /// Minimum trailing-update volume (multiply-subtract pairs) before the
+  /// parallel kernel pays for a fork/join; below it the update runs on the
+  /// serial core. The default (~8 Mflop, several ms of work) keeps the
+  /// per-panel thread-spawn cost under a few percent even when cores are
+  /// oversubscribed; in practice only large root-front panels clear it —
+  /// exactly where tree-level concurrency has run out. 0 forces forking on
+  /// every panel (tests/TSan coverage of the threaded path on small
+  /// fronts).
+  std::size_t min_parallel_volume = 1u << 22;
+};
+
+/// `base` overridden by the TREEMEM_KERNEL environment variable when it is
+/// well-formed: `scalar`, `blocked` or `parallel`, optionally suffixed with
+/// `:<block_size>` (a positive integer <= 4096). Parsed strictly, like
+/// TREEMEM_THREADS: any malformed value — unknown name, empty/garbage/zero
+/// block size, trailing characters — leaves `base` untouched, so a typo
+/// cannot silently switch kernels mid-experiment. Lets benches and tests
+/// select kernels without recompiling.
+KernelConfig kernel_config_from_env(KernelConfig base = {});
+
+/// The pluggable dense kernel. Instances are immutable and thread-safe:
+/// one kernel is shared by every worker of a parallel factorization, and
+/// all state lives in the caller's front buffer.
+///
+/// The front is a dense column-major m×m buffer (leading dimension m); only
+/// the lower triangle is read or written.
+class FrontKernel {
+ public:
+  virtual ~FrontKernel() = default;
+
+  virtual const char* name() const = 0;
+  virtual KernelKind kind() const = 0;
+
+  /// Dense partial Cholesky of the leading `eta` pivots of the m×m front:
+  /// loops panels of panel_width() columns through factor_panel +
+  /// trailing_update. Returns the flop count (the scalar reference's
+  /// convention: 1 per sqrt, 1 per division, 2(m−c) per applied pivot
+  /// update of column c). Throws treemem::Error on a non-positive pivot;
+  /// `member_columns` (length eta, may be nullptr) names the original
+  /// matrix column in that error.
+  long long partial_factor(double* front, std::size_t m, std::size_t eta,
+                           const Index* member_columns) const;
+
+  /// Factors panel columns [k0, k0+nb): per pivot k ascending, sqrt the
+  /// diagonal, scale rows k+1..m of column k, and update the *panel*
+  /// columns right of k. Columns >= k0+nb are untouched. The shared base
+  /// implementation is the reference order every kernel must preserve.
+  virtual long long factor_panel(double* front, std::size_t m,
+                                 std::size_t k0, std::size_t nb,
+                                 const Index* member_columns) const;
+
+  /// Applies panel [k0, k0+nb)'s updates to the trailing columns
+  /// [k0+nb, m): for each trailing entry the nb subtractions land in
+  /// ascending k, one at a time — the bit-exactness invariant.
+  virtual long long trailing_update(double* front, std::size_t m,
+                                    std::size_t k0, std::size_t nb) const = 0;
+
+  /// Scatter-adds a child's cm×cm lower-triangular contribution block into
+  /// the front: CB entry (cr, cc) lands at front position
+  /// (front_pos[cb_rows[cr]], front_pos[cb_rows[cc]]).
+  virtual void extend_add(double* front, std::size_t m,
+                          const Index* front_pos, const Index* cb_rows,
+                          std::size_t cm, const double* cb_values) const;
+
+ protected:
+  /// Panel width the partial_factor driver steps by (>= 1).
+  virtual std::size_t panel_width() const = 0;
+};
+
+/// Builds the configured kernel. The returned kernel is stateless; it may
+/// be shared across threads and reused for any number of fronts.
+std::unique_ptr<const FrontKernel> make_front_kernel(
+    const KernelConfig& config);
+
+}  // namespace treemem

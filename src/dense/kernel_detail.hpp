@@ -1,0 +1,29 @@
+// Internal plumbing shared by the front-kernel implementations. Not part
+// of the public API — include only from src/dense/*.cpp.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+
+#include "dense/front_kernel.hpp"
+
+namespace treemem::detail {
+
+/// The serial trailing-update core every kernel variant reduces to:
+/// applies panel pivots [k0, k0+nb) to columns [c_begin, c_end) of the
+/// column-major m×m front, per column in ascending k with one subtraction
+/// per entry and the reference's zero-multiplier skip. Returns flops
+/// (2(m−c) per applied (k, c) pair). Thread-safe for disjoint column
+/// ranges: writes touch only columns [c_begin, c_end), reads outside them
+/// touch only the (already finalized) panel columns.
+long long update_column_range(double* front, std::size_t m, std::size_t k0,
+                              std::size_t nb, std::size_t c_begin,
+                              std::size_t c_end);
+
+std::unique_ptr<const FrontKernel> make_scalar_kernel();
+std::unique_ptr<const FrontKernel> make_blocked_kernel(std::size_t block_size);
+std::unique_ptr<const FrontKernel> make_parallel_tiled_kernel(
+    std::size_t block_size, unsigned workers,
+    std::size_t min_parallel_volume);
+
+}  // namespace treemem::detail

@@ -1,0 +1,84 @@
+#include <algorithm>
+#include <vector>
+
+#include "dense/kernel_detail.hpp"
+#include "support/parallel_for.hpp"
+
+namespace treemem::detail {
+
+namespace {
+
+/// The blocked kernel with the trailing update fanned out over column
+/// tiles via parallel_for — intra-front parallelism for the large root
+/// fronts whose serial elimination caps tree-level speedup. Tiles write
+/// disjoint column ranges and read only the (finalized, pre-fork) panel
+/// columns, so the update is race-free, and each tile runs the same serial
+/// core in the same order, so the result is independent of the tile
+/// schedule (and today bit-identical to the scalar reference; the
+/// documented contract is only residual-bounded, leaving room for
+/// reassociating variants).
+class ParallelTiledKernel final : public FrontKernel {
+ public:
+  ParallelTiledKernel(std::size_t block_size, unsigned workers,
+                      std::size_t min_parallel_volume)
+      // Resolve the TREEMEM_THREADS/hardware default once: trailing_update
+      // runs per panel, and a getenv + sched_getaffinity syscall there is
+      // measurable across the thousands of small fronts of a sparse tree.
+      : block_size_(block_size),
+        workers_(workers == 0 ? default_thread_count() : workers),
+        min_parallel_volume_(min_parallel_volume) {}
+
+  const char* name() const override { return "parallel"; }
+  KernelKind kind() const override { return KernelKind::kParallelTiled; }
+
+  long long trailing_update(double* front, std::size_t m, std::size_t k0,
+                            std::size_t nb) const override {
+    const std::size_t c_begin = k0 + nb;
+    const std::size_t cols = m - c_begin;
+    const std::size_t tiles = (cols + block_size_ - 1) / block_size_;
+    // Fork/join costs a few thread spawns per panel; only pay it when the
+    // update is big enough to amortize them. The triangular trailing block
+    // holds cols·(cols+1)/2 entries, each receiving up to nb
+    // multiply-subtract pairs — the unit min_parallel_volume is counted in.
+    const bool too_small =
+        nb * (cols * (cols + 1) / 2) < min_parallel_volume_;
+    if (workers_ <= 1 || tiles < 2 || too_small) {
+      return update_column_range(front, m, k0, nb, c_begin, m);
+    }
+    // Per-tile flop slots instead of an atomic: deterministic and
+    // contention-free.
+    std::vector<long long> tile_flops(tiles, 0);
+    parallel_for(
+        tiles,
+        [&](std::size_t t) {
+          const std::size_t c0 = c_begin + t * block_size_;
+          const std::size_t c1 = std::min(m, c0 + block_size_);
+          tile_flops[t] = update_column_range(front, m, k0, nb, c0, c1);
+        },
+        std::min<unsigned>(workers_, static_cast<unsigned>(tiles)));
+    long long flops = 0;
+    for (const long long f : tile_flops) {
+      flops += f;
+    }
+    return flops;
+  }
+
+ protected:
+  std::size_t panel_width() const override { return block_size_; }
+
+ private:
+  std::size_t block_size_;
+  unsigned workers_;
+  std::size_t min_parallel_volume_;
+};
+
+}  // namespace
+
+std::unique_ptr<const FrontKernel> make_parallel_tiled_kernel(
+    std::size_t block_size, unsigned workers,
+    std::size_t min_parallel_volume) {
+  return std::make_unique<ParallelTiledKernel>(block_size, workers,
+                                               min_parallel_volume);
+}
+
+}  // namespace treemem::detail

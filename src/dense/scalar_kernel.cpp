@@ -1,0 +1,31 @@
+#include "dense/kernel_detail.hpp"
+
+namespace treemem::detail {
+
+namespace {
+
+/// The original right-looking scalar loop, expressed as a panel width of 1:
+/// factor_panel does the sqrt + column scale, trailing_update is the rank-1
+/// update of every trailing column. This is the exactness reference the
+/// other kernels are pinned against.
+class ScalarKernel final : public FrontKernel {
+ public:
+  const char* name() const override { return "scalar"; }
+  KernelKind kind() const override { return KernelKind::kScalar; }
+
+  long long trailing_update(double* front, std::size_t m, std::size_t k0,
+                            std::size_t nb) const override {
+    return update_column_range(front, m, k0, nb, k0 + nb, m);
+  }
+
+ protected:
+  std::size_t panel_width() const override { return 1; }
+};
+
+}  // namespace
+
+std::unique_ptr<const FrontKernel> make_scalar_kernel() {
+  return std::make_unique<ScalarKernel>();
+}
+
+}  // namespace treemem::detail

@@ -8,6 +8,23 @@
 
 namespace treemem {
 
+namespace {
+
+/// Visits every stored entry of `pattern` in CSC order as
+/// fn(row, col, value_offset) — the one traversal the value-array
+/// builders and validators below all share.
+template <typename Fn>
+void for_each_entry(const SparsePattern& pattern, Fn&& fn) {
+  std::size_t offset = 0;
+  for (Index j = 0; j < pattern.cols(); ++j) {
+    for (const Index r : pattern.column(j)) {
+      fn(r, j, offset++);
+    }
+  }
+}
+
+}  // namespace
+
 SymmetricMatrix::SymmetricMatrix(SparsePattern pattern,
                                  std::vector<double> values)
     : pattern_(std::move(pattern)), values_(std::move(values)) {
@@ -16,12 +33,10 @@ SymmetricMatrix::SymmetricMatrix(SparsePattern pattern,
            "SymmetricMatrix: " << values_.size() << " values for "
                                << pattern_.nnz() << " entries");
   TM_CHECK(pattern_.is_symmetric(), "SymmetricMatrix: pattern not symmetric");
-  for (Index j = 0; j < pattern_.cols(); ++j) {
-    for (const Index r : pattern_.column(j)) {
-      TM_CHECK(value_of(r, j) == value_of(j, r),
-               "SymmetricMatrix: asymmetric values at (" << r << "," << j << ")");
-    }
-  }
+  for_each_entry(pattern_, [&](Index r, Index j, std::size_t) {
+    TM_CHECK(value_of(r, j) == value_of(j, r),
+             "SymmetricMatrix: asymmetric values at (" << r << "," << j << ")");
+  });
 }
 
 double SymmetricMatrix::value_of(Index row, Index col) const {
@@ -40,13 +55,10 @@ SymmetricMatrix SymmetricMatrix::permuted(const std::vector<Index>& perm) const 
   const SparsePattern permuted_pattern = permute_symmetric(pattern_, perm);
   std::vector<double> permuted_values(
       static_cast<std::size_t>(permuted_pattern.nnz()));
-  std::size_t offset = 0;
-  for (Index j = 0; j < permuted_pattern.cols(); ++j) {
-    for (const Index r : permuted_pattern.column(j)) {
-      permuted_values[offset++] = value_of(perm[static_cast<std::size_t>(r)],
-                                           perm[static_cast<std::size_t>(j)]);
-    }
-  }
+  for_each_entry(permuted_pattern, [&](Index r, Index j, std::size_t offset) {
+    permuted_values[offset] = value_of(perm[static_cast<std::size_t>(r)],
+                                       perm[static_cast<std::size_t>(j)]);
+  });
   return SymmetricMatrix(permuted_pattern, std::move(permuted_values));
 }
 
@@ -68,22 +80,17 @@ SymmetricMatrix make_spd_matrix(const SparsePattern& pattern,
 
   // Row sums of absolute off-diagonals for the dominant diagonal.
   std::vector<double> row_abs(static_cast<std::size_t>(n), 0.0);
-  for (Index j = 0; j < n; ++j) {
-    for (const Index r : pattern.column(j)) {
-      if (r != j) {
-        row_abs[static_cast<std::size_t>(r)] += std::abs(pair_value(r, j));
-      }
+  for_each_entry(pattern, [&](Index r, Index j, std::size_t) {
+    if (r != j) {
+      row_abs[static_cast<std::size_t>(r)] += std::abs(pair_value(r, j));
     }
-  }
+  });
 
   std::vector<double> values(static_cast<std::size_t>(pattern.nnz()));
-  std::size_t offset = 0;
-  for (Index j = 0; j < n; ++j) {
-    for (const Index r : pattern.column(j)) {
-      values[offset++] = (r == j) ? 1.0 + row_abs[static_cast<std::size_t>(r)]
-                                  : pair_value(r, j);
-    }
-  }
+  for_each_entry(pattern, [&](Index r, Index j, std::size_t offset) {
+    values[offset] = (r == j) ? 1.0 + row_abs[static_cast<std::size_t>(r)]
+                              : pair_value(r, j);
+  });
   return SymmetricMatrix(pattern, std::move(values));
 }
 
@@ -116,8 +123,11 @@ Weight LiveEntryMeter::lower(Weight delta) {
 }
 
 FrontalEngine::FrontalEngine(const SymmetricMatrix& matrix,
-                             const AssemblyTree& assembly)
-    : matrix_(&matrix), assembly_(&assembly) {
+                             const AssemblyTree& assembly,
+                             const KernelConfig& kernel)
+    : matrix_(&matrix),
+      assembly_(&assembly),
+      kernel_(make_front_kernel(kernel)) {
   const Index n = matrix.size();
   const Tree& tree = assembly.tree;
   TM_CHECK(assembly.columns == n,
@@ -244,23 +254,13 @@ void FrontalEngine::process_front(NodeId s, FrontWorkspace& ws) {
 
   // Extend-add the children contribution blocks, releasing each as it is
   // absorbed. Children are walked in tree order (not completion order), so
-  // the floating-point sums — and hence the factor — are schedule-exact.
+  // the floating-point sums — and hence the factor — are schedule-exact
+  // under every kernel (the kernel only scatters one child at a time).
   for (const NodeId c : tree.children(s)) {
     ContributionBlock& cb = blocks_[static_cast<std::size_t>(c)];
     const std::size_t cm = cb.rows.size();
-    for (std::size_t cc = 0; cc < cm; ++cc) {
-      const Index gcol = cb.rows[cc];
-      TM_ASSERT(ws.front_pos[static_cast<std::size_t>(gcol)] >= 0,
-                "child CB column outside the parent front");
-      const std::size_t fc = static_cast<std::size_t>(
-          ws.front_pos[static_cast<std::size_t>(gcol)]);
-      for (std::size_t cr = cc; cr < cm; ++cr) {
-        const Index grow = cb.rows[cr];
-        const std::size_t fr = static_cast<std::size_t>(
-            ws.front_pos[static_cast<std::size_t>(grow)]);
-        at(fr, fc) += cb.values[cc * cm + cr];
-      }
-    }
+    kernel_->extend_add(ws.front.data(), m, ws.front_pos.data(),
+                        cb.rows.data(), cm, cb.values.data());
     meter_.lower(static_cast<Weight>(cm * cm));
     cb.rows.clear();
     cb.rows.shrink_to_fit();
@@ -268,31 +268,12 @@ void FrontalEngine::process_front(NodeId s, FrontWorkspace& ws) {
     cb.values.shrink_to_fit();
   }
 
-  // Dense partial Cholesky of the leading eta pivots.
-  long long local_flops = 0;
-  for (std::size_t k = 0; k < eta; ++k) {
-    const double pivot = at(k, k);
-    TM_CHECK(pivot > 0.0, "matrix is not positive definite at column "
-                              << cols[k] << " (pivot " << pivot << ")");
-    const double lkk = std::sqrt(pivot);
-    at(k, k) = lkk;
-    ++local_flops;
-    for (std::size_t r = k + 1; r < m; ++r) {
-      at(r, k) /= lkk;
-      ++local_flops;
-    }
-    for (std::size_t c = k + 1; c < m; ++c) {
-      const double lck = at(c, k);
-      if (lck == 0.0) {
-        continue;
-      }
-      for (std::size_t r = c; r < m; ++r) {
-        at(r, c) -= at(r, k) * lck;
-      }
-      local_flops += 2 * static_cast<long long>(m - c);
-    }
-  }
-  flops_.fetch_add(local_flops, std::memory_order_relaxed);
+  // Dense partial Cholesky of the leading eta pivots via the configured
+  // kernel (dense/front_kernel.hpp) — scalar reference, cache-blocked, or
+  // parallel-tiled for intra-front parallelism.
+  flops_.fetch_add(
+      kernel_->partial_factor(ws.front.data(), m, eta, cols.data()),
+      std::memory_order_relaxed);
 
   // Extract the factor columns of the members (disjoint ranges per
   // supernode, so concurrent fronts never write the same slot).
@@ -332,7 +313,8 @@ void FrontalEngine::process_front(NodeId s, FrontWorkspace& ws) {
 
 MultifrontalResult multifrontal_cholesky(const SymmetricMatrix& matrix,
                                          const AssemblyTree& assembly,
-                                         const Traversal& bottom_up_order) {
+                                         const Traversal& bottom_up_order,
+                                         const KernelConfig& kernel) {
   const Tree& tree = assembly.tree;
   TM_CHECK(bottom_up_order.size() == static_cast<std::size_t>(tree.size()),
            "traversal size mismatch");
@@ -355,7 +337,7 @@ MultifrontalResult multifrontal_cholesky(const SymmetricMatrix& matrix,
     }
   }
 
-  FrontalEngine engine(matrix, assembly);
+  FrontalEngine engine(matrix, assembly, kernel);
   FrontWorkspace ws = engine.make_workspace();
   MultifrontalResult result;
   result.live_after_step.reserve(bottom_up_order.size());

@@ -12,6 +12,16 @@
 // (multifrontal/numeric_parallel.hpp) dispatches it as the task body of
 // the memory-bounded threaded executor.
 //
+// The dense math inside a front — the partial Cholesky and the
+// contribution-block scatter-add — is delegated to a pluggable FrontKernel
+// (dense/front_kernel.hpp): the scalar reference, a cache-blocked kernel
+// (bit-identical factors) or the parallel-tiled kernel (intra-front
+// parallelism for large root fronts; residual-bounded contract). The
+// engine keeps everything the kernels must not perturb: the front row-set
+// union, the tree-ordered extend-add of children (schedule-exact sums),
+// the contribution-block slot protocol and the LiveEntryMeter accounting,
+// so the Eq. 1 modeled/measured invariants hold under every kernel.
+//
 // Measured vs. modeled memory: the engine counts *measured* live factor
 // entries (resident contribution blocks + active fronts) in an atomic
 // meter, following the model's carve-out convention — a front's
@@ -31,9 +41,11 @@
 #pragma once
 
 #include <atomic>
+#include <memory>
 #include <vector>
 
 #include "core/traversal.hpp"
+#include "dense/front_kernel.hpp"
 #include "sparse/pattern.hpp"
 #include "symbolic/assembly_tree.hpp"
 #include "tree/tree.hpp"
@@ -127,8 +139,10 @@ class FrontWorkspace {
 class FrontalEngine {
  public:
   /// Validates that `assembly` matches `matrix` and precomputes the member
-  /// columns, the factor pattern and the per-front sizes.
-  FrontalEngine(const SymmetricMatrix& matrix, const AssemblyTree& assembly);
+  /// columns, the factor pattern and the per-front sizes. `kernel` selects
+  /// the dense front kernel (default: the scalar reference).
+  FrontalEngine(const SymmetricMatrix& matrix, const AssemblyTree& assembly,
+                const KernelConfig& kernel = {});
 
   FrontWorkspace make_workspace() const;
 
@@ -177,6 +191,7 @@ class FrontalEngine {
 
   const SymmetricMatrix* matrix_;
   const AssemblyTree* assembly_;
+  std::unique_ptr<const FrontKernel> kernel_;
   std::vector<std::vector<Index>> members_;  ///< columns per supernode
   std::vector<Index> front_size_;            ///< |front rows| per supernode
   CholeskyFactor factor_;
@@ -208,11 +223,14 @@ struct MultifrontalResult {
 /// `bottom_up_order` is an in-tree traversal of assembly.tree (children
 /// before parents) — e.g. reverse_traversal(minmem_optimal(tree).order).
 /// Throws if the order is invalid or the matrix does not match the tree.
-/// For the threaded counterpart see factor_parallel in
+/// `kernel` selects the dense front kernel; the default honors the
+/// TREEMEM_KERNEL environment override and otherwise runs the scalar
+/// reference. For the threaded counterpart see factor_parallel in
 /// multifrontal/numeric_parallel.hpp.
-MultifrontalResult multifrontal_cholesky(const SymmetricMatrix& matrix,
-                                         const AssemblyTree& assembly,
-                                         const Traversal& bottom_up_order);
+MultifrontalResult multifrontal_cholesky(
+    const SymmetricMatrix& matrix, const AssemblyTree& assembly,
+    const Traversal& bottom_up_order,
+    const KernelConfig& kernel = kernel_config_from_env());
 
 /// Frobenius norm of A − L·Lᵀ divided by the norm of A — the correctness
 /// metric for factorization tests.

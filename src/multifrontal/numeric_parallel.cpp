@@ -47,7 +47,7 @@ ParallelFactorResult factor_parallel(const SymmetricMatrix& matrix,
                                      const AssemblyTree& assembly,
                                      const ParallelFactorOptions& options) {
   TM_CHECK(options.workers >= 1, "factor_parallel: need at least one worker");
-  FrontalEngine engine(matrix, assembly);
+  FrontalEngine engine(matrix, assembly, options.kernel);
   WorkspacePool pool(engine, options.workers);
 
   // Flop-count durations drive both the priority ranks and the executor's

@@ -17,7 +17,13 @@
 //
 // The factor is schedule-exact: fronts write disjoint factor columns and
 // extend-add walks children in tree order, so every worker count and every
-// interleaving produces bit-identical values to the serial engine.
+// interleaving produces bit-identical values to the serial engine *running
+// the same kernel*. Kernel selection (options.kernel) composes with the
+// tree-level parallelism: the scalar and blocked kernels keep the factor
+// bit-identical to the scalar reference, while the parallel-tiled kernel
+// adds intra-front parallelism over trailing-update tiles for the large
+// root fronts (contract: small residual; currently also bit-identical —
+// see dense/front_kernel.hpp).
 #pragma once
 
 #include "multifrontal/numeric.hpp"
@@ -31,6 +37,10 @@ struct ParallelFactorOptions {
   /// assembly tree's n_i/f_i weights); kInfiniteWeight disables it.
   Weight memory_budget = kInfiniteWeight;
   ParallelPriority priority = ParallelPriority::kCriticalPath;
+  /// Dense front kernel (dense/front_kernel.hpp). The default honors the
+  /// TREEMEM_KERNEL environment override and otherwise runs the scalar
+  /// reference.
+  KernelConfig kernel = kernel_config_from_env();
 };
 
 struct ParallelFactorResult {

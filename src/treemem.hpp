@@ -35,6 +35,9 @@
 #include "symbolic/assembly_tree.hpp"
 #include "symbolic/symbolic.hpp"
 
+// Dense front kernels behind the numeric engine.
+#include "dense/front_kernel.hpp"
+
 // Numerical multifrontal engine.
 #include "multifrontal/disk_model.hpp"
 #include "multifrontal/numeric.hpp"

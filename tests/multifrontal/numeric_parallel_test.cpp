@@ -43,9 +43,12 @@ NumericInstance make_instance(const SparsePattern& raw, std::uint64_t seed,
 }
 
 MultifrontalResult serial_factor(const NumericInstance& inst) {
+  // The scalar reference is pinned explicitly so a TREEMEM_KERNEL override
+  // in the environment cannot silently change what "serial" means here.
   return multifrontal_cholesky(
       inst.matrix, inst.assembly,
-      reverse_traversal(best_postorder(inst.assembly.tree).order));
+      reverse_traversal(best_postorder(inst.assembly.tree).order),
+      KernelConfig{});
 }
 
 /// Pattern families chosen for their assembly-tree shapes: narrow banded →
@@ -75,6 +78,23 @@ TEST_P(NumericParallelSweep, MatchesSerialFactorAndReconstructsA) {
       const NumericInstance inst = make_instance(raw, seed, ordering, relax);
       const MultifrontalResult serial = serial_factor(inst);
       ASSERT_LT(relative_residual(inst.matrix, serial.factor), 1e-12);
+
+      // The blocked serial kernel is bit-identical to the scalar reference
+      // across the whole 56-instance corpus (block size varied by seed so
+      // the sweep covers width-1, mid, and wider-than-most-fronts panels).
+      {
+        KernelConfig blocked;
+        blocked.kind = KernelKind::kBlocked;
+        blocked.block_size = static_cast<std::size_t>(1) << (seed % 7);
+        const MultifrontalResult blocked_run = multifrontal_cholesky(
+            inst.matrix, inst.assembly,
+            reverse_traversal(best_postorder(inst.assembly.tree).order),
+            blocked);
+        EXPECT_EQ(blocked_run.factor.values, serial.factor.values)
+            << "blocked nb=" << blocked.block_size;
+        EXPECT_EQ(blocked_run.flops, serial.flops);
+        EXPECT_EQ(blocked_run.peak_live_entries, serial.peak_live_entries);
+      }
 
       for (const int workers : {1, 2, 8}) {
         ParallelFactorOptions options;
