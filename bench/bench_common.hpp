@@ -9,34 +9,27 @@
 #pragma once
 
 #include <algorithm>
-#include <cstdlib>
 #include <filesystem>
 #include <iostream>
 #include <string>
 #include <vector>
 
 #include "perf/corpus.hpp"
+#include "support/env.hpp"
 #include "support/timer.hpp"
 
 namespace treemem::bench {
 
 inline double scale_from_env() {
-  if (const char* env = std::getenv("TREEMEM_SCALE")) {
-    const double parsed = std::strtod(env, nullptr);
-    if (parsed > 0.0) {
-      return parsed;
-    }
-  }
   // Default: assembly trees up to ~10^4 nodes (the paper's UF filter gives
-  // 2e4..2e5 matrix rows; TREEMEM_SCALE=16 reaches that regime).
-  return 4.0;
+  // 2e4..2e5 matrix rows; TREEMEM_SCALE=16 reaches that regime). Strictly
+  // parsed through support/env.hpp — a garbage scale fails the bench run
+  // loudly instead of silently charting the default corpus.
+  return env_double("TREEMEM_SCALE", 1e-3, 1e3).value_or(4.0);
 }
 
 inline std::string output_dir() {
-  std::string dir = "bench_out";
-  if (const char* env = std::getenv("TREEMEM_OUT")) {
-    dir = env;
-  }
+  const std::string dir = env_string("TREEMEM_OUT").value_or("bench_out");
   std::filesystem::create_directories(dir);
   return dir;
 }

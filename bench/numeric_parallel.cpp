@@ -1,35 +1,37 @@
 // Extension bench: the end-to-end parallel numeric pipeline — corpus
-// matrix → ordering → assembly tree → threaded multifrontal Cholesky —
-// now swept across the dense front kernels (dense/front_kernel.hpp).
+// matrix → treemem::Solver facade (analyze → plan → factorize) — swept
+// across the dense front kernels (dense/front_kernel.hpp).
 //
-// For the smallest corpus matrices under both orderings, factor each
-// instance serially (the scalar reference walked along the reversed best
-// postorder) and with factor_parallel at w ∈ {1, 2, 4, 8} under each
-// kernel — scalar, cache-blocked, parallel-tiled — free and (at w = 4)
-// with the modeled budget capped at 1.5× the w = 1 modeled peak. Reported
-// per run: measured factor seconds, speedup over the serial engine, the
-// engine's *measured* peak live entries and the executor's *modeled* Eq. 1
-// peak — the same quantity in the same units, machine vs. model. Stalled
-// capped runs are reported as such (the greedy scheduler's memory
-// deadlock, not an error).
+// Each instance is analyzed ONCE (ordering, assembly tree, symbolic) and
+// then factorized many times through the facade's reuse path: serially
+// (the scalar reference along the planned best postorder), and with the
+// threaded engine at w ∈ {1, 2, 4, 8} under each kernel — scalar,
+// cache-blocked, parallel-tiled — free and (at w = 4) re-planned with the
+// modeled budget capped at 1.5× the w = 1 modeled peak. Reported per run:
+// measured factor seconds, speedup over the serial engine, the engine's
+// *measured* peak live entries and the *modeled* Eq. 1 peak from
+// SolverStats — the same quantity in the same units, machine vs. model.
+// Stalled capped runs are reported as such (the greedy scheduler's memory
+// deadlock, surfaced by allow_serial_fallback = false, not an error).
 //
 // Kernel exactness is enforced on every feasible run: scalar and blocked
 // must reproduce the serial factor bit for bit; the parallel-tiled kernel
 // must stay within its residual contract. The sweep's block size follows
 // TREEMEM_KERNEL (e.g. TREEMEM_KERNEL=blocked:64 resizes the panels
 // without recompiling); intra-front workers follow TREEMEM_THREADS.
+#include <algorithm>
 #include <cmath>
 #include <iomanip>
 #include <iostream>
 #include <sstream>
+#include <string>
 
 #include "bench_common.hpp"
-#include "core/postorder.hpp"
 #include "dense/spd_front.hpp"
-#include "multifrontal/numeric_parallel.hpp"
+#include "multifrontal/numeric.hpp"
+#include "solver/solver.hpp"
 #include "support/csv.hpp"
 #include "support/text_table.hpp"
-#include "support/timer.hpp"
 
 namespace {
 
@@ -45,10 +47,12 @@ int run() {
   CorpusOptions options = bench::corpus_options();
   // Numeric factorization is dense-kernel heavy; a moderate slice of the
   // corpus keeps the smoke run in seconds while exercising real fronts.
-  const auto instances = build_numeric_instances(options, /*max_matrices=*/5);
+  // The facade re-runs the same ordering/relax pipeline internally, so
+  // instances match the old hand-stitched build_numeric_instances ones.
+  const auto matrices = smallest_corpus_matrices(options, /*count=*/5);
   bench::print_header(
-      "Extension — parallel numeric multifrontal Cholesky: kernels × "
-      "workers, measured vs modeled peak");
+      "Extension — parallel numeric multifrontal Cholesky via the Solver "
+      "facade: kernels × workers, measured vs modeled peak");
 
   // The env override steers the sweep's block size (and names the default
   // kernel, though all three kinds are always swept).
@@ -78,141 +82,187 @@ int run() {
   long long largest_flops = -1;
   double largest_scalar_w8 = 0.0, largest_parallel_w8 = 0.0;
 
-  for (const NumericInstance& inst : instances) {
-    const Tree& tree = inst.assembly.tree;
-    const Index n = inst.matrix.size();
+  for (const CorpusMatrix& source : matrices) {
+    for (const OrderingChoice ordering :
+         {OrderingChoice::kMinDegree, OrderingChoice::kNestedDissection}) {
+      const std::string name = source.name + "/" + to_string(ordering) +
+                               "/r" + std::to_string(options.relax_values.front());
+      const SymmetricMatrix values =
+          make_spd_matrix(source.pattern, options.seed);
+      const Index n = source.pattern.cols();
 
-    // Serial baseline: the scalar reference along the reversed best
-    // postorder (pinned explicitly — TREEMEM_KERNEL must not move the
-    // yardstick the kernels are measured against).
-    Timer serial_timer;
-    const MultifrontalResult serial = multifrontal_cholesky(
-        inst.matrix, inst.assembly,
-        reverse_traversal(best_postorder(tree).order), KernelConfig{});
-    const double serial_seconds = serial_timer.elapsed_s();
+      // Analyze ONCE; every run below reuses the symbolic state. The plan
+      // pins the best postorder — the serial yardstick the kernels are
+      // measured against (TREEMEM_KERNEL must not move it either, hence
+      // the explicit scalar config).
+      AnalyzeOptions analyze;
+      analyze.ordering = ordering;
+      analyze.relax = options.relax_values.front();
+      Solver solver;
+      solver.analyze(source.pattern, analyze);
+      const Tree& tree = solver.assembly().tree;
 
-    // The w = 1 modeled peak anchors the capped runs (kernel-independent:
-    // the model sees only the assembly-tree weights).
-    ParallelFactorOptions w1;
-    w1.workers = 1;
-    w1.kernel = KernelConfig{};
-    const ParallelFactorResult anchor =
-        factor_parallel(inst.matrix, inst.assembly, w1);
-    TM_CHECK(anchor.feasible, "unbounded w=1 run must be feasible");
-    const Weight cap = std::max(anchor.modeled_peak_entries * 3 / 2,
-                                tree.max_mem_req());
+      PlanOptions free_plan;
+      free_plan.policy = TraversalPolicy::kPostorder;
+      solver.plan(free_plan);
 
-    double w8_seconds[3] = {0.0, 0.0, 0.0};
-    double best_speedup = 0.0;
-    std::string capped_cell = "-";
+      FactorizeOptions serial_options;
+      serial_options.engine = FactorizeEngine::kSerial;
+      serial_options.kernel = KernelConfig{};
+      serial_options.kernel.kind = KernelKind::kScalar;
+      solver.factorize(values, serial_options);
+      const double serial_seconds = solver.stats().factorize_seconds;
+      const long long serial_flops = solver.stats().flops;
+      const std::vector<double> serial_factor = solver.factor().values;
 
-    // Exactness enforcement on every feasible run: a fast wrong kernel
-    // must crash the bench, not chart a win.
-    const auto check_factor = [&](const KernelConfig& kernel,
-                                  const ParallelFactorResult& run) {
-      if (!run.feasible) {
-        return;
-      }
-      if (kernel.kind == KernelKind::kParallelTiled) {
-        // Contract: residual-bounded against the scalar reference.
-        TM_CHECK(relative_frobenius_distance(serial.factor.values,
-                                             run.factor.values) <= 1e-12,
-                 "parallel-tiled factor drifted past its residual contract "
-                 "on " << inst.name);
-      } else {
-        // Scalar and blocked: bit-identical to the serial engine.
-        TM_CHECK(run.factor.values == serial.factor.values,
-                 to_string(kernel.kind)
-                     << " factor diverged from serial on " << inst.name);
-      }
-    };
-    const auto write_row = [&](const KernelConfig& kernel, int workers,
-                               const char* mode_label, Weight budget,
-                               const ParallelFactorResult& run,
-                               double speedup) {
-      csv.write_row(
-          {inst.name, CsvWriter::cell(static_cast<long long>(n)),
-           CsvWriter::cell(static_cast<long long>(tree.size())),
-           to_string(kernel.kind),
-           CsvWriter::cell(static_cast<long long>(kernel.block_size)),
-           CsvWriter::cell(static_cast<long long>(workers)), mode_label,
-           budget == kInfiniteWeight ? std::string("inf")
-                                     : std::to_string(budget),
-           run.feasible ? "1" : "0", CsvWriter::cell(serial_seconds),
-           CsvWriter::cell(run.factor_seconds), CsvWriter::cell(speedup),
-           CsvWriter::cell(static_cast<long long>(run.measured_peak_entries)),
-           CsvWriter::cell(static_cast<long long>(run.modeled_peak_entries)),
-           CsvWriter::cell(static_cast<long long>(run.flops))});
-    };
+      // The w = 1 modeled peak anchors the capped runs (kernel-independent:
+      // the model sees only the assembly-tree weights).
+      FactorizeOptions w1 = serial_options;
+      w1.engine = FactorizeEngine::kParallel;
+      w1.workers = 1;
+      solver.factorize(values, w1);
+      const Weight cap = std::max(solver.stats().modeled_peak_entries * 3 / 2,
+                                  tree.max_mem_req());
 
-    // Worker sweep (single samples) + one capped point per kernel.
-    for (int ki = 0; ki < 3; ++ki) {
-      const KernelConfig& kernel = kernels[ki];
-      for (const int workers : {1, 2, 4}) {
-        struct Mode {
-          const char* label;
-          Weight budget;
-        };
-        const Mode modes[] = {{"free", kInfiniteWeight}, {"capped", cap}};
-        for (const Mode& mode : modes) {
-          if (mode.budget != kInfiniteWeight && workers != 4) {
-            continue;  // one capped point per kernel tells the story
-          }
-          ParallelFactorOptions run_options;
-          run_options.workers = workers;
-          run_options.memory_budget = mode.budget;
-          run_options.kernel = kernel;
-          const ParallelFactorResult run =
-              factor_parallel(inst.matrix, inst.assembly, run_options);
-          const double speedup =
-              run.feasible
-                  ? serial_seconds / std::max(run.factor_seconds, 1e-12)
-                  : 0.0;
-          check_factor(kernel, run);
-          write_row(kernel, workers, mode.label, mode.budget, run, speedup);
-          if (mode.budget != kInfiniteWeight && workers == 4 &&
-              kernel.kind == base.kind) {
-            capped_cell = run.feasible ? fmt(speedup) + "x" : "stall";
-          }
+      double w8_seconds[3] = {0.0, 0.0, 0.0};
+      double best_speedup = 0.0;
+      std::string capped_cell = "-";
+
+      // Exactness enforcement on every feasible run: a fast wrong kernel
+      // must crash the bench, not chart a win.
+      const auto check_factor = [&](const KernelConfig& kernel) {
+        if (kernel.kind == KernelKind::kParallelTiled) {
+          // Contract: residual-bounded against the scalar reference.
+          TM_CHECK(relative_frobenius_distance(serial_factor,
+                                               solver.factor().values) <= 1e-12,
+                   "parallel-tiled factor drifted past its residual contract "
+                   "on " << name);
+        } else {
+          // Scalar and blocked: bit-identical to the serial engine.
+          TM_CHECK(solver.factor().values == serial_factor,
+                   to_string(kernel.kind)
+                       << " factor diverged from serial on " << name);
         }
-      }
-    }
+      };
+      // One parallel run's numbers, captured from SolverStats at run time
+      // (the solver's stats describe only the *latest* factorize call).
+      struct RunSample {
+        bool feasible = false;
+        double seconds = 0.0;
+        Weight measured_peak = 0;
+        Weight modeled_peak = 0;
+        long long flops = 0;
+      };
+      const auto write_row = [&](const KernelConfig& kernel, int workers,
+                                 const char* mode_label, Weight budget,
+                                 const RunSample& run, double speedup) {
+        csv.write_row(
+            {name, CsvWriter::cell(static_cast<long long>(n)),
+             CsvWriter::cell(static_cast<long long>(tree.size())),
+             to_string(kernel.kind),
+             CsvWriter::cell(static_cast<long long>(kernel.block_size)),
+             CsvWriter::cell(static_cast<long long>(workers)), mode_label,
+             budget == kInfiniteWeight ? std::string("inf")
+                                       : std::to_string(budget),
+             run.feasible ? "1" : "0", CsvWriter::cell(serial_seconds),
+             CsvWriter::cell(run.seconds), CsvWriter::cell(speedup),
+             CsvWriter::cell(static_cast<long long>(run.measured_peak)),
+             CsvWriter::cell(static_cast<long long>(run.modeled_peak)),
+             CsvWriter::cell(run.flops)});
+      };
 
-    // w = 8 shootout — the per-kernel wall-clock comparison the root-front
-    // check reads. Reps interleave the kernels so machine drift lands on
-    // all of them equally, and min-of-3 is the wall-clock estimator.
-    ParallelFactorResult best[3];
-    for (int rep = 0; rep < 3; ++rep) {
+      // A parallel factorization through the facade; a greedy stall is
+      // surfaced as an infeasible sample (typed SolverStallError — not
+      // smoothed over by the serial fallback).
+      const auto parallel_run = [&](const KernelConfig& kernel, int workers) {
+        FactorizeOptions run_options;
+        run_options.engine = FactorizeEngine::kParallel;
+        run_options.workers = workers;
+        run_options.kernel = kernel;
+        run_options.allow_serial_fallback = false;
+        RunSample sample;
+        try {
+          solver.factorize(values, run_options);
+        } catch (const SolverStallError&) {
+          return sample;
+        }
+        check_factor(kernel);
+        sample.feasible = true;
+        sample.seconds = solver.stats().factorize_seconds;
+        sample.measured_peak = solver.stats().measured_peak_entries;
+        sample.modeled_peak = solver.stats().modeled_peak_entries;
+        sample.flops = solver.stats().flops;
+        return sample;
+      };
+
+      // Worker sweep (single samples) + one capped point per kernel.
       for (int ki = 0; ki < 3; ++ki) {
-        ParallelFactorOptions run_options;
-        run_options.workers = 8;
-        run_options.kernel = kernels[ki];
-        ParallelFactorResult run =
-            factor_parallel(inst.matrix, inst.assembly, run_options);
-        check_factor(kernels[ki], run);
-        if (rep == 0 || run.factor_seconds < best[ki].factor_seconds) {
-          best[ki] = std::move(run);
+        const KernelConfig& kernel = kernels[ki];
+        for (const int workers : {1, 2, 4}) {
+          struct Mode {
+            const char* label;
+            Weight budget;
+          };
+          const Mode modes[] = {{"free", kInfiniteWeight}, {"capped", cap}};
+          for (const Mode& mode : modes) {
+            if (mode.budget != kInfiniteWeight && workers != 4) {
+              continue;  // one capped point per kernel tells the story
+            }
+            PlanOptions plan = free_plan;
+            if (mode.budget != kInfiniteWeight) {
+              // Re-plan under the cap; the symbolic state is reused. kAuto
+              // may tighten the traversal to fit (the facade's regime
+              // logic); the parallel engine only consumes the budget.
+              plan.policy = TraversalPolicy::kAuto;
+              plan.memory_budget = mode.budget;
+            }
+            solver.plan(plan);
+            const RunSample run = parallel_run(kernel, workers);
+            const double speedup =
+                run.feasible ? serial_seconds / std::max(run.seconds, 1e-12)
+                             : 0.0;
+            write_row(kernel, workers, mode.label, mode.budget, run, speedup);
+            if (mode.budget != kInfiniteWeight && workers == 4 &&
+                kernel.kind == base.kind) {
+              capped_cell = run.feasible ? fmt(speedup) + "x" : "stall";
+            }
+          }
         }
       }
-    }
-    for (int ki = 0; ki < 3; ++ki) {
-      const double speedup =
-          serial_seconds / std::max(best[ki].factor_seconds, 1e-12);
-      write_row(kernels[ki], 8, "free", kInfiniteWeight, best[ki], speedup);
-      w8_seconds[ki] = best[ki].factor_seconds;
-      best_speedup = std::max(best_speedup, speedup);
-    }
 
-    if (serial.flops > largest_flops) {
-      largest_flops = serial.flops;
-      largest_name = inst.name;
-      largest_scalar_w8 = w8_seconds[0];
-      largest_parallel_w8 = w8_seconds[2];
+      // w = 8 shootout — the per-kernel wall-clock comparison the
+      // root-front check reads. Reps interleave the kernels so machine
+      // drift lands on all of them equally; min-of-3 is the estimator.
+      solver.plan(free_plan);
+      RunSample best[3];
+      for (int rep = 0; rep < 3; ++rep) {
+        for (int ki = 0; ki < 3; ++ki) {
+          const RunSample run = parallel_run(kernels[ki], 8);
+          TM_CHECK(run.feasible, "unbounded w=8 run must be feasible");
+          if (rep == 0 || run.seconds < best[ki].seconds) {
+            best[ki] = run;
+          }
+        }
+      }
+      for (int ki = 0; ki < 3; ++ki) {
+        const double speedup =
+            serial_seconds / std::max(best[ki].seconds, 1e-12);
+        write_row(kernels[ki], 8, "free", kInfiniteWeight, best[ki], speedup);
+        w8_seconds[ki] = best[ki].seconds;
+        best_speedup = std::max(best_speedup, speedup);
+      }
+
+      if (serial_flops > largest_flops) {
+        largest_flops = serial_flops;
+        largest_name = name;
+        largest_scalar_w8 = w8_seconds[0];
+        largest_parallel_w8 = w8_seconds[2];
+      }
+      table.add_row({name, std::to_string(n), fmt(serial_seconds, 3),
+                     fmt(w8_seconds[0], 3), fmt(w8_seconds[1], 3),
+                     fmt(w8_seconds[2], 3), fmt(best_speedup),
+                     capped_cell});
     }
-    table.add_row({inst.name, std::to_string(n), fmt(serial_seconds, 3),
-                   fmt(w8_seconds[0], 3), fmt(w8_seconds[1], 3),
-                   fmt(w8_seconds[2], 3), fmt(best_speedup),
-                   capped_cell});
   }
 
   std::cout << table.to_string();
@@ -222,16 +272,18 @@ int run() {
             << fmt(largest_scalar_w8 /
                    std::max(largest_parallel_w8, 1e-12))
             << "x\n";
-  std::cout << "\nreading: every kernel reproduces the serial factor "
-               "(scalar/blocked bit for bit,\nparallel-tiled within its "
-               "residual contract) at every worker count, while the\n"
-               "engine's measured live entries stay within the executor's "
-               "Eq. 1 model. The\ncache-blocked kernels outrun the scalar "
-               "reference on the dense-front-heavy\ninstances — the "
-               "intra-front lever for the root fronts that cap tree-level\n"
-               "speedup — and capping the modeled budget at 1.5x the w=1 "
-               "peak throttles or\nstalls the greedy schedule: the "
-               "memory/parallelism tension the paper's\nconclusion "
+  std::cout << "\nreading: every instance is analyzed once and factorized "
+               "~30 times through the\nfacade's reuse path — every kernel "
+               "reproduces the serial factor (scalar/blocked\nbit for bit, "
+               "parallel-tiled within its residual contract) at every "
+               "worker count,\nwhile the engine's measured live entries "
+               "stay within the Eq. 1 model reported\nby SolverStats. The "
+               "cache-blocked kernels outrun the scalar reference on the\n"
+               "dense-front-heavy instances — the intra-front lever for "
+               "the root fronts that\ncap tree-level speedup — and "
+               "re-planning with the budget capped at 1.5x the\nw=1 peak "
+               "throttles or stalls the greedy schedule: the "
+               "memory/parallelism\ntension the paper's conclusion "
                "anticipates, on real numeric payloads.\n";
   std::cout << "raw data: " << csv.path() << "\n";
   return 0;

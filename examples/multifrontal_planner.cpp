@@ -1,30 +1,22 @@
-// Multifrontal factorization planner: the full pipeline of the paper on a
-// generated sparse matrix.
+// Multifrontal factorization planner — the solver facade's analysis
+// phases on a generated sparse matrix:
 //
-//   matrix  ->  fill-reducing ordering  ->  elimination tree + column counts
-//           ->  relaxed amalgamation (assembly tree)
-//           ->  MinMemory planning (PostOrder vs optimal)
+//   analyze: fill-reducing ordering -> elimination tree + column counts
+//            -> relaxed amalgamation (assembly tree)
+//   plan:    MinMemory planning (PostOrder vs optimal)
 //
 //   $ ./multifrontal_planner [grid_side] [relax]
 //
-// Prints, for both orderings, the factor statistics and the in-core memory
+// Prints, for each ordering, the factor statistics and the in-core memory
 // needed by the multifrontal method under the best postorder and under the
-// optimal traversal — i.e., exactly what a solver's analysis phase would
-// use to size its workspace.
+// optimal traversal — i.e., exactly what the facade's plan phase uses to
+// size workspaces before factorize() runs.
 #include <cstdlib>
 #include <iomanip>
 #include <iostream>
+#include <sstream>
 
-#include "core/liu.hpp"
-#include "core/minmem.hpp"
-#include "core/postorder.hpp"
-#include "order/ordering.hpp"
-#include "sparse/generators.hpp"
-#include "sparse/pattern.hpp"
-#include "support/text_table.hpp"
-#include "symbolic/assembly_tree.hpp"
-#include "symbolic/symbolic.hpp"
-#include "tree/tree.hpp"
+#include "treemem.hpp"
 
 using namespace treemem;
 
@@ -40,35 +32,28 @@ int main(int argc, char** argv) {
 
   TextTable table({"ordering", "nnz(L)", "tree nodes", "height", "PostOrder",
                    "Optimal", "overhead"});
-  for (const char* name : {"min-degree", "nested-dissection", "natural"}) {
-    std::vector<Index> perm;
-    if (std::string(name) == "min-degree") {
-      perm = min_degree_order(a);
-    } else if (std::string(name) == "nested-dissection") {
-      perm = nested_dissection_order(a);
-    } else {
-      perm = natural_order(a.cols());
-    }
-    const SparsePattern permuted = permute_symmetric(a, perm);
+  for (const OrderingChoice ordering :
+       {OrderingChoice::kMinDegree, OrderingChoice::kNestedDissection,
+        OrderingChoice::kNatural}) {
+    AnalyzeOptions analyze;
+    analyze.ordering = ordering;
+    analyze.relax = relax;
+    Solver solver;
+    solver.analyze(a, analyze).plan();  // unconstrained: plans in-core
 
-    AssemblyTreeOptions options;
-    options.relax = relax;
-    const AssemblyTree at = build_assembly_tree(permuted, options);
-    const TreeStats stats = compute_stats(at.tree);
-
-    const Weight po = best_postorder_peak(at.tree);
-    const MinMemResult opt = minmem_optimal(at.tree);
-    TM_CHECK(liu_optimal_peak(at.tree) == opt.peak,
-             "optimal algorithms disagree");
-
+    const SolverStats& stats = solver.stats();
+    const TreeStats tree_stats = compute_stats(solver.assembly().tree);
     std::ostringstream overhead;
     overhead << std::fixed << std::setprecision(2)
-             << 100.0 * (static_cast<double>(po) / static_cast<double>(opt.peak) - 1.0)
+             << 100.0 * (static_cast<double>(stats.best_postorder_peak) /
+                             static_cast<double>(stats.in_core_optimum) -
+                         1.0)
              << "%";
-    table.add_row({name, std::to_string(factor_nnz(permuted)),
-                   std::to_string(at.tree.size()), std::to_string(stats.height),
-                   std::to_string(po), std::to_string(opt.peak),
-                   overhead.str()});
+    table.add_row({to_string(ordering), std::to_string(stats.factor_nnz),
+                   std::to_string(stats.tree_nodes),
+                   std::to_string(tree_stats.height),
+                   std::to_string(stats.best_postorder_peak),
+                   std::to_string(stats.in_core_optimum), overhead.str()});
   }
   std::cout << table.to_string();
   std::cout << "\n'PostOrder' / 'Optimal': in-core memory (matrix entries) for\n"

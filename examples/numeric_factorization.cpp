@@ -1,25 +1,21 @@
-// Numerical multifrontal Cholesky, end to end:
-//   SPD matrix -> ordering -> assembly tree -> traversal planning ->
-//   actual factorization -> residual check and memory report.
+// Numerical multifrontal Cholesky through the solver facade:
+//   analyze (ordering + assembly tree) -> plan (traversal choice) ->
+//   factorize (actual numbers) -> residual check and memory report.
 //
 // Demonstrates that the traversal choice changes the *memory profile* of
 // the factorization while leaving the numbers untouched — the very premise
-// of the paper.
+// of the paper: the same Solver is re-planned under the best postorder and
+// under MinMem, and the two factorizations are compared.
 //
 //   $ ./numeric_factorization [grid_side]
+//
+// Umbrella-header sanity: this program includes only treemem.hpp.
 #include <cstdlib>
 #include <iomanip>
 #include <iostream>
+#include <sstream>
 
-#include "core/check.hpp"
-#include "core/minmem.hpp"
-#include "core/postorder.hpp"
-#include "core/trace.hpp"
-#include "multifrontal/numeric.hpp"
-#include "order/ordering.hpp"
-#include "sparse/generators.hpp"
-#include "support/text_table.hpp"
-#include "symbolic/assembly_tree.hpp"
+#include "treemem.hpp"
 
 using namespace treemem;
 
@@ -30,29 +26,32 @@ int main(int argc, char** argv) {
 
   const SparsePattern pattern = symmetrize(gen::grid2d(side, side));
   const SymmetricMatrix a = make_spd_matrix(pattern, /*seed=*/2011);
-  const std::vector<Index> perm = min_degree_order(pattern);
-  const SymmetricMatrix permuted = a.permuted(perm);
 
-  AssemblyTreeOptions options;
-  options.relax = 0;  // perfect supernodes: model == machine, exactly
-  const AssemblyTree assembly = build_assembly_tree(permuted.pattern(), options);
+  AnalyzeOptions analyze;
+  analyze.relax = 0;  // perfect supernodes: model == machine, exactly
+  Solver solver;
+  solver.analyze(pattern, analyze);
   std::cout << "matrix: n=" << pattern.cols() << " nnz=" << pattern.nnz()
-            << ", assembly tree: " << assembly.tree.size() << " supernodes\n\n";
+            << ", assembly tree: " << solver.stats().tree_nodes
+            << " supernodes\n\n";
 
   TextTable table({"traversal", "peak live entries", "model peak", "residual"});
   for (const bool optimal : {false, true}) {
-    const Traversal bottom_up =
-        optimal ? reverse_traversal(minmem_optimal(assembly.tree).order)
-                : reverse_traversal(best_postorder(assembly.tree).order);
-    const MultifrontalResult run =
-        multifrontal_cholesky(permuted, assembly, bottom_up);
-    const Weight model_peak = in_tree_traversal_peak(assembly.tree, bottom_up);
+    PlanOptions plan;
+    plan.policy =
+        optimal ? TraversalPolicy::kMinMem : TraversalPolicy::kPostorder;
+    solver.plan(plan).factorize(a);
+
+    // The residual of the permuted factor, via the exported low-level
+    // metric (the facade's permutation feeds the permuted matrix).
+    const SymmetricMatrix permuted = a.permuted(solver.permutation());
     std::ostringstream residual;
     residual << std::scientific << std::setprecision(2)
-             << relative_residual(permuted, run.factor);
+             << relative_residual(permuted, solver.factor());
     table.add_row({optimal ? "MinMem (optimal)" : "best postorder",
-                   std::to_string(run.peak_live_entries),
-                   std::to_string(model_peak), residual.str()});
+                   std::to_string(solver.stats().measured_peak_entries),
+                   std::to_string(solver.stats().planned_peak_entries),
+                   residual.str()});
   }
   std::cout << table.to_string();
   std::cout << "\nwith perfect supernodes (relax=0) the engine's measured\n"

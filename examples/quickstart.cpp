@@ -1,24 +1,64 @@
-// Quickstart: build a small task tree by hand, run the three MinMemory
-// algorithms, check the results with Algorithm 1, and plan an out-of-core
-// execution with Algorithm 2.
+// Quickstart, in two acts.
+//
+// Act 1 — the solver facade: the production entry point. Six lines take a
+// sparse SPD system from pattern to solution through the phased
+// analyze → plan → factorize → solve pipeline, with the paper's traversal
+// planning deciding how the factorization walks the assembly tree.
+//
+// Act 2 — the model underneath: build a small task tree by hand, run the
+// three MinMemory algorithms, check the results with Algorithm 1, and plan
+// an out-of-core execution with Algorithm 2 (the exact example of
+// tests/test_util.hpp: a root with two subtrees whose optimal traversal
+// interleaves them).
 //
 //   $ ./quickstart
 //
-// This walks through the exact example of tests/test_util.hpp: a root with
-// two subtrees whose optimal traversal interleaves them.
+// Umbrella-header sanity: this program includes only treemem.hpp.
 #include <iostream>
 
-#include "core/check.hpp"
-#include "core/liu.hpp"
-#include "core/minio.hpp"
-#include "core/minmem.hpp"
-#include "core/postorder.hpp"
-#include "tree/tree.hpp"
-#include "tree/tree_io.hpp"
+#include "treemem.hpp"
 
 using namespace treemem;
 
-int main() {
+void solver_facade_act() {
+  std::cout << "=== Act 1: the solver facade ===\n\n";
+
+  // An SPD system on a 16x16 grid Laplacian pattern.
+  const SparsePattern pattern = symmetrize(gen::grid2d(16, 16));
+  const SymmetricMatrix a = make_spd_matrix(pattern, /*seed=*/2011);
+  const std::vector<double> b(static_cast<std::size_t>(pattern.cols()), 1.0);
+
+  // The whole pipeline. Each phase reuses everything before it: analyze
+  // once, then factorize/solve as many value sets and right-hand sides as
+  // traffic brings.
+  Solver solver(solver_options_from_env());  // honors TREEMEM_* overrides
+  solver.analyze(pattern);                   // ordering + assembly tree
+  solver.plan();                             // traversal + memory budget
+  solver.factorize(a);                       // numeric Cholesky
+  const std::vector<double> x = solver.solve(b);
+
+  const SolverStats& stats = solver.stats();
+  std::cout << "n=" << stats.n << " nnz=" << stats.pattern_nnz
+            << "  ->  nnz(L)=" << stats.factor_nnz << " ("
+            << stats.tree_nodes << " supernodes, ordering "
+            << stats.ordering << ")\n";
+  std::cout << "plan: " << stats.strategy
+            << ", modeled peak " << stats.planned_peak_entries
+            << " entries (in-core optimum " << stats.in_core_optimum
+            << ", best postorder " << stats.best_postorder_peak << ")\n";
+  std::cout << "factorize: " << stats.engine << "/" << stats.kernel
+            << ", measured peak " << stats.measured_peak_entries
+            << " <= modeled " << stats.modeled_peak_entries << ", "
+            << stats.flops << " flops\n";
+
+  // Verify the solution against the original (unpermuted) matrix.
+  std::cout << "solve: ||Ax - b|| / ||b|| = " << relative_residual(a, x, b)
+            << "\n\n";
+}
+
+void task_tree_act() {
+  std::cout << "=== Act 2: the task-tree model underneath ===\n\n";
+
   // --- 1. Describe the task tree -------------------------------------------
   // Each task has an input file (from its parent) and an execution file.
   // The root's input can be empty.
@@ -72,5 +112,10 @@ int main() {
   std::cout << "  Algorithm 2 check: "
             << (check.feasible ? "feasible" : check.reason)
             << ", volume " << check.io_volume << "\n";
+}
+
+int main() {
+  solver_facade_act();
+  task_tree_act();
   return 0;
 }

@@ -1,31 +1,40 @@
-// treemem_cli — command-line front end for the library.
+// treemem_cli — command-line front end for the library, built on the
+// treemem::Solver facade.
 //
 // Usage:
 //   treemem_cli plan <matrix.mtx> [--order mindeg|nd|rcm|natural]
 //                    [--relax R] [--memory M]
-//       Reads a Matrix Market file, builds the assembly tree and prints the
-//       MinMemory analysis; with --memory it also plans the I/O schedule.
+//       Reads a Matrix Market file, runs the facade's analyze phase and
+//       prints the MinMemory analysis; with --memory it also surveys the
+//       out-of-core I/O options.
+//
+//   treemem_cli solve <matrix.mtx> [--order mindeg|nd|rcm|natural]
+//                     [--relax R] [--memory M]
+//                     [--traversal auto|postorder|liu|minmem]
+//                     [--workers W] [--kernel scalar|blocked|parallel[:nb]]
+//                     [--rhs K] [--seed S] [--csv stats.csv]
+//       The full pipeline: analyze -> plan -> factorize -> solve on
+//       deterministic SPD values (seeded) with K right-hand sides, printing
+//       the per-phase SolverStats and optionally appending them to a CSV
+//       (the bench-smoke artifact format).
 //
 //   treemem_cli tree <tree.txt> [--memory M]
-//       Same analysis for a task tree in the treemem text format.
+//       The same MinMemory analysis for a task tree in the treemem text
+//       format (no numeric phases — trees carry no values).
 //
 //   treemem_cli gen grid2d <nx> <ny> <out.mtx>
 //       Writes a generated matrix for experimentation.
+#include <algorithm>
+#include <cmath>
 #include <cstring>
+#include <iomanip>
 #include <iostream>
+#include <limits>
 #include <optional>
+#include <sstream>
 #include <string>
 
-#include "core/liu.hpp"
-#include "core/minio.hpp"
-#include "core/minmem.hpp"
-#include "core/postorder.hpp"
-#include "order/ordering.hpp"
-#include "sparse/generators.hpp"
-#include "sparse/mm_io.hpp"
-#include "support/text_table.hpp"
-#include "symbolic/assembly_tree.hpp"
-#include "tree/tree_io.hpp"
+#include "treemem.hpp"
 
 using namespace treemem;
 
@@ -36,12 +45,21 @@ int usage() {
       << "usage:\n"
       << "  treemem_cli plan <matrix.mtx> [--order mindeg|nd|rcm|natural]"
          " [--relax R] [--memory M]\n"
+      << "  treemem_cli solve <matrix.mtx> [--order mindeg|nd|rcm|natural]"
+         " [--relax R] [--memory M]\n"
+      << "                    [--traversal auto|postorder|liu|minmem]"
+         " [--workers W]\n"
+      << "                    [--kernel scalar|blocked|parallel[:nb]]"
+         " [--rhs K] [--seed S] [--csv stats.csv]\n"
       << "  treemem_cli tree <tree.txt> [--memory M]\n"
       << "  treemem_cli gen grid2d <nx> <ny> <out.mtx>\n";
   return 2;
 }
 
-void analyze(const Tree& tree, std::optional<Weight> memory) {
+/// The `plan`/`tree` analysis table: MinMemory peaks and, under a budget,
+/// the out-of-core options — the low-level survey the facade's plan phase
+/// chooses from.
+void analyze_tree(const Tree& tree, std::optional<Weight> memory) {
   const TraversalResult po = best_postorder(tree);
   const MinMemResult opt = minmem_optimal(tree);
   TM_CHECK(liu_optimal_peak(tree) == opt.peak, "optimal algorithms disagree");
@@ -85,6 +103,148 @@ void analyze(const Tree& tree, std::optional<Weight> memory) {
   }
 }
 
+struct CliOptions {
+  std::string order_name = "mindeg";
+  Index relax = 4;
+  std::optional<Weight> memory;
+  std::string traversal_name = "auto";
+  int workers = 0;
+  std::string kernel_spec;
+  int rhs = 1;
+  std::uint64_t seed = 2011;
+  std::string csv_path;
+};
+
+std::optional<OrderingChoice> ordering_of(const std::string& name) {
+  if (name == "mindeg") return OrderingChoice::kMinDegree;
+  if (name == "nd") return OrderingChoice::kNestedDissection;
+  if (name == "rcm") return OrderingChoice::kRcm;
+  if (name == "natural") return OrderingChoice::kNatural;
+  return std::nullopt;
+}
+
+std::optional<TraversalPolicy> traversal_of(const std::string& name) {
+  if (name == "auto") return TraversalPolicy::kAuto;
+  if (name == "postorder") return TraversalPolicy::kPostorder;
+  if (name == "liu") return TraversalPolicy::kLiu;
+  if (name == "minmem") return TraversalPolicy::kMinMem;
+  return std::nullopt;
+}
+
+std::string seconds(double s) {
+  std::ostringstream oss;
+  oss << std::fixed << std::setprecision(4) << s;
+  return oss.str();
+}
+
+int run_solve(const std::string& path, const CliOptions& cli) {
+  const auto ordering = ordering_of(cli.order_name);
+  const auto traversal = traversal_of(cli.traversal_name);
+  if (!ordering || !traversal || cli.rhs < 1) {
+    return usage();
+  }
+  SolverOptions options;
+  options.analyze.ordering = *ordering;
+  options.analyze.relax = cli.relax;
+  options.plan.policy = *traversal;
+  if (cli.memory) {
+    options.plan.memory_budget = *cli.memory;
+  }
+  options.factorize.workers = cli.workers;
+  if (!cli.kernel_spec.empty()) {
+    options.factorize.kernel =
+        parse_kernel_spec(cli.kernel_spec, options.factorize.kernel);
+  }
+
+  const SparsePattern a = symmetrize(read_matrix_market_file(path));
+  const SymmetricMatrix matrix = make_spd_matrix(a, cli.seed);
+
+  Solver solver(options);
+  solver.analyze(a).plan().factorize(matrix);
+
+  // Seeded right-hand sides, solved in one multi-RHS call.
+  std::vector<std::vector<double>> rhs(
+      static_cast<std::size_t>(cli.rhs),
+      std::vector<double>(static_cast<std::size_t>(a.cols())));
+  Prng rhs_prng(cli.seed * 7919 + 17);
+  for (auto& column : rhs) {
+    for (double& v : column) {
+      v = 2.0 * rhs_prng.uniform_real() - 1.0;
+    }
+  }
+  const std::vector<std::vector<double>> x = solver.solve(rhs);
+
+  // Max relative residual across the right-hand sides, on the original
+  // (unpermuted) system.
+  double residual = 0.0;
+  for (std::size_t c = 0; c < rhs.size(); ++c) {
+    residual = std::max(residual, relative_residual(matrix, x[c], rhs[c]));
+  }
+
+  const SolverStats& stats = solver.stats();
+  TextTable table({"phase", "result", "seconds"});
+  table.add_row({"analyze",
+                 "n=" + std::to_string(stats.n) + " nnz(L)=" +
+                     std::to_string(stats.factor_nnz) + " supernodes=" +
+                     std::to_string(stats.tree_nodes) + " ordering=" +
+                     stats.ordering,
+                 seconds(stats.analyze_seconds)});
+  table.add_row({"plan",
+                 stats.strategy + " peak=" +
+                     std::to_string(stats.planned_peak_entries) +
+                     " optimum=" + std::to_string(stats.in_core_optimum),
+                 seconds(stats.plan_seconds)});
+  table.add_row(
+      {"factorize",
+       stats.engine + "/" + stats.kernel + " w=" +
+           std::to_string(stats.workers) + " measured=" +
+           std::to_string(stats.measured_peak_entries) + " modeled=" +
+           std::to_string(stats.modeled_peak_entries) + " flops=" +
+           std::to_string(stats.flops),
+       seconds(stats.factorize_seconds)});
+  std::ostringstream residual_text;
+  residual_text << std::scientific << std::setprecision(2) << residual;
+  table.add_row({"solve",
+                 std::to_string(stats.rhs_solved) + " rhs, max residual " +
+                     residual_text.str(),
+                 seconds(stats.solve_seconds)});
+  std::cout << table.to_string();
+
+  if (!cli.csv_path.empty()) {
+    CsvWriter csv(cli.csv_path,
+                  {"matrix", "n", "pattern_nnz", "factor_nnz", "tree_nodes",
+                   "ordering", "strategy", "memory_budget",
+                   "planned_peak", "in_core_optimum", "planned_io_volume",
+                   "engine", "kernel", "workers", "flops", "measured_peak",
+                   "modeled_peak", "rhs", "residual", "analyze_seconds",
+                   "plan_seconds", "factorize_seconds", "solve_seconds"});
+    csv.write_row(
+        {path, CsvWriter::cell(static_cast<long long>(stats.n)),
+         CsvWriter::cell(static_cast<long long>(stats.pattern_nnz)),
+         CsvWriter::cell(static_cast<long long>(stats.factor_nnz)),
+         CsvWriter::cell(static_cast<long long>(stats.tree_nodes)),
+         stats.ordering, stats.strategy,
+         stats.memory_budget == kInfiniteWeight
+             ? std::string("inf")
+             : std::to_string(stats.memory_budget),
+         CsvWriter::cell(static_cast<long long>(stats.planned_peak_entries)),
+         CsvWriter::cell(static_cast<long long>(stats.in_core_optimum)),
+         CsvWriter::cell(static_cast<long long>(stats.planned_io_volume)),
+         stats.engine, stats.kernel,
+         CsvWriter::cell(static_cast<long long>(stats.workers)),
+         CsvWriter::cell(stats.flops),
+         CsvWriter::cell(static_cast<long long>(stats.measured_peak_entries)),
+         CsvWriter::cell(static_cast<long long>(stats.modeled_peak_entries)),
+         CsvWriter::cell(static_cast<long long>(stats.rhs_solved)),
+         CsvWriter::cell(residual), CsvWriter::cell(stats.analyze_seconds),
+         CsvWriter::cell(stats.plan_seconds),
+         CsvWriter::cell(stats.factorize_seconds),
+         CsvWriter::cell(stats.solve_seconds)});
+    std::cout << "stats: " << csv.path() << "\n";
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -105,51 +265,65 @@ int main(int argc, char** argv) {
       return 0;
     }
 
-    // Shared flag parsing for `plan` and `tree`.
-    std::string order_name = "mindeg";
-    Index relax = 4;
-    std::optional<Weight> memory;
+    // Shared flag parsing for `plan`, `solve` and `tree`. Numeric values
+    // go through the same strict parser as the TREEMEM_* env layer: a
+    // malformed flag is an error naming the flag, never a silent zero.
+    CliOptions cli;
     for (int i = 3; i < argc; ++i) {
       if (std::strcmp(argv[i], "--order") == 0 && i + 1 < argc) {
-        order_name = argv[++i];
+        cli.order_name = argv[++i];
       } else if (std::strcmp(argv[i], "--relax") == 0 && i + 1 < argc) {
-        relax = static_cast<Index>(std::atoi(argv[++i]));
+        cli.relax = static_cast<Index>(
+            parse_int_strict(argv[++i], 0, 1 << 20, "--relax"));
       } else if (std::strcmp(argv[i], "--memory") == 0 && i + 1 < argc) {
-        memory = static_cast<Weight>(std::atoll(argv[++i]));
+        cli.memory = static_cast<Weight>(
+            parse_int_strict(argv[++i], 1, kInfiniteWeight, "--memory"));
+      } else if (std::strcmp(argv[i], "--traversal") == 0 && i + 1 < argc) {
+        cli.traversal_name = argv[++i];
+      } else if (std::strcmp(argv[i], "--workers") == 0 && i + 1 < argc) {
+        cli.workers = static_cast<int>(
+            parse_int_strict(argv[++i], 0, 1024, "--workers"));
+      } else if (std::strcmp(argv[i], "--kernel") == 0 && i + 1 < argc) {
+        cli.kernel_spec = argv[++i];
+      } else if (std::strcmp(argv[i], "--rhs") == 0 && i + 1 < argc) {
+        cli.rhs =
+            static_cast<int>(parse_int_strict(argv[++i], 1, 4096, "--rhs"));
+      } else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
+        cli.seed = static_cast<std::uint64_t>(parse_int_strict(
+            argv[++i], 0, std::numeric_limits<long long>::max() / 2,
+            "--seed"));
+      } else if (std::strcmp(argv[i], "--csv") == 0 && i + 1 < argc) {
+        cli.csv_path = argv[++i];
       } else {
         return usage();
       }
     }
 
     if (command == "tree") {
-      analyze(load_tree(argv[2]), memory);
+      analyze_tree(load_tree(argv[2]), cli.memory);
       return 0;
+    }
+    if (command == "solve") {
+      return run_solve(argv[2], cli);
     }
     if (command != "plan") {
       return usage();
     }
 
     const SparsePattern a = symmetrize(read_matrix_market_file(argv[2]));
-    std::cout << "matrix: n=" << a.cols() << " nnz=" << a.nnz()
-              << " (symmetrized), ordering=" << order_name
-              << ", relax=" << relax << "\n";
-    std::vector<Index> perm;
-    if (order_name == "mindeg") {
-      perm = min_degree_order(a);
-    } else if (order_name == "nd") {
-      perm = nested_dissection_order(a);
-    } else if (order_name == "rcm") {
-      perm = rcm_order(a);
-    } else if (order_name == "natural") {
-      perm = natural_order(a.cols());
-    } else {
+    const auto ordering = ordering_of(cli.order_name);
+    if (!ordering) {
       return usage();
     }
-    AssemblyTreeOptions options;
-    options.relax = relax;
-    const AssemblyTree at =
-        build_assembly_tree(permute_symmetric(a, perm), options);
-    analyze(at.tree, memory);
+    std::cout << "matrix: n=" << a.cols() << " nnz=" << a.nnz()
+              << " (symmetrized), ordering=" << cli.order_name
+              << ", relax=" << cli.relax << "\n";
+    AnalyzeOptions analyze;
+    analyze.ordering = *ordering;
+    analyze.relax = cli.relax;
+    Solver solver;
+    solver.analyze(a, analyze);
+    analyze_tree(solver.assembly().tree, cli.memory);
   } catch (const Error& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 1;

@@ -1,13 +1,11 @@
 #include "dense/front_kernel.hpp"
 
 #include <algorithm>
-#include <cctype>
 #include <cmath>
-#include <cstdlib>
-#include <cstring>
 
 #include "dense/kernel_detail.hpp"
 #include "support/check.hpp"
+#include "support/env.hpp"
 
 namespace treemem {
 
@@ -23,40 +21,34 @@ const char* to_string(KernelKind kind) {
   return "?";
 }
 
-KernelConfig kernel_config_from_env(KernelConfig base) {
-  const char* env = std::getenv("TREEMEM_KERNEL");
-  if (env == nullptr || *env == '\0') {
-    return base;
-  }
-  // Strict parse, mirroring TREEMEM_THREADS: the whole value must be
-  // `<name>` or `<name>:<positive block size>`; anything else leaves the
-  // compiled-in default untouched (a typo must not silently switch the
-  // kernel mid-experiment).
-  const char* colon = std::strchr(env, ':');
-  const std::size_t name_len =
-      colon ? static_cast<std::size_t>(colon - env) : std::strlen(env);
-  KernelKind kind;
-  if (std::strncmp(env, "scalar", name_len) == 0 && name_len == 6) {
-    kind = KernelKind::kScalar;
-  } else if (std::strncmp(env, "blocked", name_len) == 0 && name_len == 7) {
-    kind = KernelKind::kBlocked;
-  } else if (std::strncmp(env, "parallel", name_len) == 0 && name_len == 8) {
-    kind = KernelKind::kParallelTiled;
+KernelConfig parse_kernel_spec(const std::string& spec, KernelConfig base) {
+  const std::size_t colon = spec.find(':');
+  const std::string name = spec.substr(0, colon);
+  if (name == "scalar") {
+    base.kind = KernelKind::kScalar;
+  } else if (name == "blocked") {
+    base.kind = KernelKind::kBlocked;
+  } else if (name == "parallel") {
+    base.kind = KernelKind::kParallelTiled;
   } else {
-    return base;
+    TM_CHECK(false, "kernel spec: unknown kernel '"
+                        << name << "' in '" << spec
+                        << "' (expected scalar | blocked | parallel, "
+                           "optionally :<block size>)");
   }
-  std::size_t block_size = base.block_size;
-  if (colon != nullptr) {
-    char* end = nullptr;
-    const unsigned long parsed = std::strtoul(colon + 1, &end, 10);
-    if (!std::isdigit(static_cast<unsigned char>(colon[1])) || *end != '\0' ||
-        parsed < 1 || parsed > 4096) {
-      return base;
-    }
-    block_size = static_cast<std::size_t>(parsed);
+  if (colon != std::string::npos) {
+    base.block_size = static_cast<std::size_t>(parse_int_strict(
+        spec.substr(colon + 1), 1, 4096, "kernel spec block size"));
   }
-  base.kind = kind;
-  base.block_size = block_size;
+  return base;
+}
+
+KernelConfig kernel_config_from_env(KernelConfig base) {
+  // Strict parse through support/env.hpp: a malformed TREEMEM_KERNEL
+  // throws instead of silently running a different kernel mid-experiment.
+  if (const std::optional<std::string> env = env_string("TREEMEM_KERNEL")) {
+    return parse_kernel_spec(*env, base);
+  }
   return base;
 }
 

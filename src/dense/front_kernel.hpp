@@ -38,6 +38,7 @@
 
 #include <cstddef>
 #include <memory>
+#include <string>
 
 #include "sparse/pattern.hpp"  // Index
 
@@ -56,9 +57,15 @@ const char* to_string(KernelKind kind);
 struct KernelConfig {
   KernelKind kind = KernelKind::kScalar;
   /// Panel width and trailing-update tile width of the blocked kernels
-  /// (clamped to >= 1; the scalar reference ignores it). 48 keeps a panel
-  /// of a ~2k-row front inside L2 while amortizing the per-panel pass.
-  std::size_t block_size = 48;
+  /// (clamped to >= 1; the scalar reference ignores it). Default 16,
+  /// measured with bench/front_kernels on the small-L2 CI-class box:
+  /// across the 64–1024-row front sweep, block 16 beats the previous
+  /// default 48 in 10 of 12 blocked cells — by up to 1.18× GFLOP/s, and
+  /// within 4% in the two cells 48 wins — because a 48-wide panel of a
+  /// large front overflows the small L2. On a large-L2 part, rerun the
+  /// sweep (front_kernels.csv) and raise this per run via
+  /// SolverOptions::factorize.kernel or TREEMEM_KERNEL=blocked:<nb>.
+  std::size_t block_size = 16;
   /// Worker threads for the parallel kernel's trailing updates; 0 defers
   /// to default_thread_count() (which honors TREEMEM_THREADS).
   unsigned workers = 0;
@@ -73,13 +80,17 @@ struct KernelConfig {
   std::size_t min_parallel_volume = 1u << 22;
 };
 
-/// `base` overridden by the TREEMEM_KERNEL environment variable when it is
-/// well-formed: `scalar`, `blocked` or `parallel`, optionally suffixed with
-/// `:<block_size>` (a positive integer <= 4096). Parsed strictly, like
-/// TREEMEM_THREADS: any malformed value — unknown name, empty/garbage/zero
-/// block size, trailing characters — leaves `base` untouched, so a typo
-/// cannot silently switch kernels mid-experiment. Lets benches and tests
-/// select kernels without recompiling.
+/// Parses a kernel spec — `scalar`, `blocked` or `parallel`, optionally
+/// suffixed with `:<block_size>` (a positive integer <= 4096) — onto
+/// `base`. Throws treemem::Error on any malformed value: unknown name,
+/// empty/garbage/zero block size, trailing characters. Shared by the
+/// TREEMEM_KERNEL override and the CLI's --kernel flag.
+KernelConfig parse_kernel_spec(const std::string& spec, KernelConfig base = {});
+
+/// `base` overridden by the TREEMEM_KERNEL environment variable. Parsed
+/// strictly through support/env.hpp, like TREEMEM_THREADS: a malformed
+/// value throws instead of silently switching kernels mid-experiment. Lets
+/// benches and tests select kernels without recompiling.
 KernelConfig kernel_config_from_env(KernelConfig base = {});
 
 /// The pluggable dense kernel. Instances are immutable and thread-safe:

@@ -51,6 +51,20 @@ double SymmetricMatrix::value_of(Index row, Index col) const {
   return values_[offset];
 }
 
+std::vector<double> SymmetricMatrix::multiply(
+    const std::vector<double>& x) const {
+  TM_CHECK(x.size() == static_cast<std::size_t>(pattern_.cols()),
+           "multiply: x has " << x.size() << " entries, expected "
+                              << pattern_.cols());
+  std::vector<double> y(x.size(), 0.0);
+  // Both triangles are stored, so one pass over the entries is A·x.
+  for_each_entry(pattern_, [&](Index r, Index j, std::size_t offset) {
+    y[static_cast<std::size_t>(r)] +=
+        values_[offset] * x[static_cast<std::size_t>(j)];
+  });
+  return y;
+}
+
 SymmetricMatrix SymmetricMatrix::permuted(const std::vector<Index>& perm) const {
   const SparsePattern permuted_pattern = permute_symmetric(pattern_, perm);
   std::vector<double> permuted_values(
@@ -354,6 +368,22 @@ MultifrontalResult multifrontal_cholesky(const SymmetricMatrix& matrix,
   result.flops = engine.flops();
   result.factor = engine.take_factor();
   return result;
+}
+
+double relative_residual(const SymmetricMatrix& matrix,
+                         const std::vector<double>& x,
+                         const std::vector<double>& b) {
+  TM_CHECK(x.size() == b.size() &&
+               b.size() == static_cast<std::size_t>(matrix.size()),
+           "relative_residual: x/b size mismatch");
+  const std::vector<double> ax = matrix.multiply(x);
+  double err = 0.0, norm = 0.0;
+  for (std::size_t i = 0; i < b.size(); ++i) {
+    const double d = ax[i] - b[i];
+    err += d * d;
+    norm += b[i] * b[i];
+  }
+  return std::sqrt(err) / std::max(std::sqrt(norm), 1e-300);
 }
 
 double relative_residual(const SymmetricMatrix& matrix,

@@ -66,8 +66,14 @@ class SymmetricMatrix {
   const SparsePattern& pattern() const { return pattern_; }
   Index size() const { return pattern_.cols(); }
 
+  /// Raw values, aligned with pattern().row_idx().
+  const std::vector<double>& values() const { return values_; }
+
   /// Value at (row, col); zero if the entry is not stored.
   double value_of(Index row, Index col) const;
+
+  /// A·x over the stored entries — the residual metric's matvec.
+  std::vector<double> multiply(const std::vector<double>& x) const;
 
   /// P A Pᵀ with the same convention as permute_symmetric.
   SymmetricMatrix permuted(const std::vector<Index>& perm) const;
@@ -236,6 +242,12 @@ MultifrontalResult multifrontal_cholesky(
 /// metric for factorization tests.
 double relative_residual(const SymmetricMatrix& matrix,
                          const CholeskyFactor& factor);
+
+/// ‖A·x − b‖₂ / ‖b‖₂ — the correctness metric for solves (shared by the
+/// CLI, the examples and the facade tests).
+double relative_residual(const SymmetricMatrix& matrix,
+                         const std::vector<double>& x,
+                         const std::vector<double>& b);
 
 /// Solves A x = b via the factor (forward + backward substitution).
 std::vector<double> solve_with_factor(const CholeskyFactor& factor,

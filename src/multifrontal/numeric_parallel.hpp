@@ -39,7 +39,11 @@ struct ParallelFactorOptions {
   ParallelPriority priority = ParallelPriority::kCriticalPath;
   /// Dense front kernel (dense/front_kernel.hpp). The default honors the
   /// TREEMEM_KERNEL environment override and otherwise runs the scalar
-  /// reference.
+  /// reference. Note the env parse is strict: default-constructing this
+  /// struct under a malformed TREEMEM_KERNEL throws (fail fast at the
+  /// experiment boundary). Code that must stay env-independent — the
+  /// Solver facade does this — names every member in a designated
+  /// initializer so this default is never evaluated.
   KernelConfig kernel = kernel_config_from_env();
 };
 

@@ -152,18 +152,25 @@ NumericInstance build_numeric_instance(const CorpusMatrix& source,
   return inst;
 }
 
-std::vector<NumericInstance> build_numeric_instances(
-    const CorpusOptions& options, std::size_t max_matrices) {
-  TM_CHECK(!options.relax_values.empty(),
-           "build_numeric_instances: need at least one relax value");
+std::vector<CorpusMatrix> smallest_corpus_matrices(const CorpusOptions& options,
+                                                   std::size_t count) {
   std::vector<CorpusMatrix> matrices = build_corpus_matrices(options);
   std::stable_sort(matrices.begin(), matrices.end(),
                    [](const CorpusMatrix& a, const CorpusMatrix& b) {
                      return a.pattern.cols() < b.pattern.cols();
                    });
-  if (matrices.size() > max_matrices) {
-    matrices.resize(max_matrices);
+  if (matrices.size() > count) {
+    matrices.resize(count);
   }
+  return matrices;
+}
+
+std::vector<NumericInstance> build_numeric_instances(
+    const CorpusOptions& options, std::size_t max_matrices) {
+  TM_CHECK(!options.relax_values.empty(),
+           "build_numeric_instances: need at least one relax value");
+  const std::vector<CorpusMatrix> matrices =
+      smallest_corpus_matrices(options, max_matrices);
   const Index relax = options.relax_values.front();
   std::vector<NumericInstance> out;
   out.reserve(matrices.size() * 2);

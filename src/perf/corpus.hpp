@@ -60,6 +60,12 @@ struct CorpusOptions {
 /// block-tridiagonal).
 std::vector<CorpusMatrix> build_corpus_matrices(const CorpusOptions& options = {});
 
+/// The `count` *smallest* corpus matrices by dimension (stable order) —
+/// the one slicing rule shared by build_numeric_instances and the
+/// numeric benches, so the two cannot drift.
+std::vector<CorpusMatrix> smallest_corpus_matrices(
+    const CorpusOptions& options = {}, std::size_t count = 5);
+
 /// Orders a matrix, builds the elimination tree and column counts, and
 /// amalgamates into an assembly tree.
 Tree assembly_tree_for(const SparsePattern& symmetric_pattern,

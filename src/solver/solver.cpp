@@ -1,0 +1,520 @@
+#include "solver/solver.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <utility>
+
+#include "core/liu.hpp"
+#include "core/minio.hpp"
+#include "core/minmem.hpp"
+#include "core/postorder.hpp"
+#include "multifrontal/numeric_parallel.hpp"
+#include "multifrontal/out_of_core.hpp"
+#include "order/ordering.hpp"
+#include "support/env.hpp"
+#include "support/parallel_for.hpp"
+#include "support/timer.hpp"
+#include "symbolic/symbolic.hpp"
+
+namespace treemem {
+
+const char* to_string(OrderingChoice choice) {
+  switch (choice) {
+    case OrderingChoice::kNatural:
+      return "natural";
+    case OrderingChoice::kRcm:
+      return "rcm";
+    case OrderingChoice::kMinDegree:
+      return "mindeg";
+    case OrderingChoice::kNestedDissection:
+      return "nd";
+  }
+  return "?";
+}
+
+const char* to_string(TraversalPolicy policy) {
+  switch (policy) {
+    case TraversalPolicy::kAuto:
+      return "auto";
+    case TraversalPolicy::kPostorder:
+      return "postorder";
+    case TraversalPolicy::kLiu:
+      return "liu";
+    case TraversalPolicy::kMinMem:
+      return "minmem";
+  }
+  return "?";
+}
+
+const char* to_string(FactorizeEngine engine) {
+  switch (engine) {
+    case FactorizeEngine::kAuto:
+      return "auto";
+    case FactorizeEngine::kSerial:
+      return "serial";
+    case FactorizeEngine::kParallel:
+      return "parallel";
+  }
+  return "?";
+}
+
+SolverOptions solver_options_from_env(SolverOptions base) {
+  // The enum values are declared in the same order as these spellings, so
+  // the matched index casts straight to the enumerator.
+  if (const auto ordering = env_choice("TREEMEM_ORDERING",
+                                       {"natural", "rcm", "mindeg", "nd"})) {
+    base.analyze.ordering = static_cast<OrderingChoice>(*ordering);
+  }
+  if (const auto policy = env_choice(
+          "TREEMEM_TRAVERSAL", {"auto", "postorder", "liu", "minmem"})) {
+    base.plan.policy = static_cast<TraversalPolicy>(*policy);
+  }
+  if (const auto budget = env_int("TREEMEM_BUDGET", 1, kInfiniteWeight)) {
+    base.plan.memory_budget = static_cast<Weight>(*budget);
+  }
+  if (const auto workers = env_int("TREEMEM_WORKERS", 1, 1024)) {
+    base.factorize.workers = static_cast<int>(*workers);
+  }
+  base.factorize.kernel = kernel_config_from_env(base.factorize.kernel);
+  return base;
+}
+
+void Solver::require_phase(Phase at_least, const char* verb,
+                           const char* prerequisite) const {
+  TM_CHECK(phase_ >= at_least,
+           "Solver::" << verb << ": call " << prerequisite << " first");
+}
+
+// ---------------------------------------------------------------------------
+// Phase 1: analyze
+// ---------------------------------------------------------------------------
+
+Solver& Solver::analyze(const SparsePattern& pattern) {
+  return analyze(pattern, options_.analyze);
+}
+
+Solver& Solver::analyze(const SparsePattern& pattern,
+                        const AnalyzeOptions& options) {
+  TM_CHECK(pattern.is_square() && pattern.cols() > 0,
+           "Solver::analyze: pattern must be square and non-empty");
+  TM_CHECK(pattern.is_symmetric() && pattern.has_full_diagonal(),
+           "Solver::analyze: pattern must be symmetric with a full diagonal "
+           "(apply symmetrize() first)");
+  Timer timer;
+
+  std::vector<Index> perm;
+  switch (options.ordering) {
+    case OrderingChoice::kNatural:
+      perm = natural_order(pattern.cols());
+      break;
+    case OrderingChoice::kRcm:
+      perm = rcm_order(pattern);
+      break;
+    case OrderingChoice::kMinDegree:
+      perm = min_degree_order(pattern);
+      break;
+    case OrderingChoice::kNestedDissection:
+      perm = nested_dissection_order(pattern);
+      break;
+  }
+  SparsePattern permuted = permute_symmetric(pattern, perm);
+  AssemblyTreeOptions tree_options;
+  tree_options.relax = options.relax;
+  tree_options.perfect = options.perfect;
+  AssemblyTree assembly = build_assembly_tree(permuted, tree_options);
+
+  // Gather map: permuted entry (r, j) holds the original value at
+  // (perm[r], perm[j]). Resolving those offsets once here turns every
+  // later factorize() into a single linear gather over the value array.
+  std::vector<std::size_t> value_map(static_cast<std::size_t>(permuted.nnz()));
+  {
+    std::size_t offset = 0;
+    for (Index j = 0; j < permuted.cols(); ++j) {
+      const Index source_col = perm[static_cast<std::size_t>(j)];
+      const auto source_rows = pattern.column(source_col);
+      const std::size_t source_base = static_cast<std::size_t>(
+          pattern.col_ptr()[static_cast<std::size_t>(source_col)]);
+      for (const Index r : permuted.column(j)) {
+        const Index source_row = perm[static_cast<std::size_t>(r)];
+        const auto it = std::lower_bound(source_rows.begin(),
+                                         source_rows.end(), source_row);
+        TM_ASSERT(it != source_rows.end() && *it == source_row,
+                  "permuted pattern entry missing from the source pattern");
+        value_map[offset++] =
+            source_base + static_cast<std::size_t>(it - source_rows.begin());
+      }
+    }
+  }
+
+  // Commit only after everything above succeeded, so a throwing analyze()
+  // leaves a previously analyzed solver intact.
+  pattern_ = pattern;
+  perm_ = std::move(perm);
+  permuted_pattern_ = std::move(permuted);
+  assembly_ = std::move(assembly);
+  permuted_value_map_ = std::move(value_map);
+  postorder_cache_.reset();
+  liu_cache_.reset();
+  minmem_cache_.reset();
+  bottom_up_order_.clear();
+  io_schedule_ = IoSchedule{};
+  out_of_core_ = false;
+  factor_ = CholeskyFactor{};
+  phase_ = Phase::kAnalyzed;
+
+  stats_ = SolverStats{};
+  stats_.n = pattern_.cols();
+  stats_.pattern_nnz = pattern_.nnz();
+  stats_.factor_nnz = factor_nnz(permuted_pattern_);
+  stats_.tree_nodes = assembly_.tree.size();
+  stats_.ordering = to_string(options.ordering);
+  stats_.analyze_seconds = timer.elapsed_s();
+  return *this;
+}
+
+// ---------------------------------------------------------------------------
+// Phase 2: plan
+// ---------------------------------------------------------------------------
+
+Solver& Solver::plan() { return plan(options_.plan); }
+
+const TraversalResult& Solver::cached_postorder() const {
+  if (!postorder_cache_) {
+    postorder_cache_ = best_postorder(assembly_.tree);
+  }
+  return *postorder_cache_;
+}
+
+const TraversalResult& Solver::cached_liu() const {
+  if (!liu_cache_) {
+    liu_cache_ = liu_optimal(assembly_.tree);
+  }
+  return *liu_cache_;
+}
+
+const MinMemResult& Solver::cached_minmem() const {
+  if (!minmem_cache_) {
+    minmem_cache_ = minmem_optimal(assembly_.tree);
+  }
+  return *minmem_cache_;
+}
+
+Solver& Solver::plan(const PlanOptions& options) {
+  require_phase(Phase::kAnalyzed, "plan", "analyze()");
+  TM_CHECK(options.memory_budget > 0,
+           "Solver::plan: memory budget must be positive");
+  Timer timer;
+  const Tree& tree = assembly_.tree;
+  const Weight budget = options.memory_budget;
+
+  const TraversalResult& postorder = cached_postorder();
+  const MinMemResult& optimal = cached_minmem();
+
+  // The chosen out-tree traversal; the facade stores its reverse (the
+  // bottom-up multifrontal direction).
+  Traversal out_tree_order;
+  Weight in_core_peak = 0;
+  std::string strategy;
+  bool out_of_core = false;
+  IoSchedule schedule;
+  Weight io_volume = 0;
+
+  // Candidate traversals in the out-of-core regime: the explicit policy's
+  // own order, or — under kAuto — postorder and Liu, the chain-building
+  // orders Fig. 8 shows keep I/O low.
+  std::vector<std::pair<std::string, Traversal>> ooc_candidates;
+
+  switch (options.policy) {
+    case TraversalPolicy::kAuto:
+      if (budget >= postorder.peak) {
+        out_tree_order = postorder.order;
+        in_core_peak = postorder.peak;
+        strategy = "postorder/in-core";
+      } else if (budget >= optimal.peak) {
+        out_tree_order = optimal.order;
+        in_core_peak = optimal.peak;
+        strategy = "minmem/in-core";
+      } else {
+        out_of_core = true;
+        ooc_candidates.emplace_back("postorder", postorder.order);
+        ooc_candidates.emplace_back("liu", cached_liu().order);
+      }
+      break;
+    case TraversalPolicy::kPostorder:
+      out_tree_order = postorder.order;
+      in_core_peak = postorder.peak;
+      strategy = "postorder/in-core";
+      break;
+    case TraversalPolicy::kLiu: {
+      const TraversalResult& liu = cached_liu();
+      out_tree_order = liu.order;
+      in_core_peak = liu.peak;
+      strategy = "liu/in-core";
+      break;
+    }
+    case TraversalPolicy::kMinMem:
+      out_tree_order = optimal.order;
+      in_core_peak = optimal.peak;
+      strategy = "minmem/in-core";
+      break;
+  }
+
+  // An explicitly chosen traversal that misses the budget falls back to
+  // MinIO eviction on that same traversal.
+  if (!out_of_core && budget < in_core_peak) {
+    out_of_core = true;
+    ooc_candidates.emplace_back(to_string(options.policy),
+                                std::move(out_tree_order));
+  }
+
+  if (out_of_core) {
+    TM_CHECK(options.allow_out_of_core,
+             "Solver::plan: budget " << budget
+                                     << " is below the in-core peak and "
+                                        "out-of-core execution is disabled");
+    const Weight floor =
+        std::max(tree.max_mem_req(), tree.file_size(tree.root()));
+    TM_CHECK(budget >= floor,
+             "Solver::plan: budget " << budget << " is below max MemReq "
+                                     << floor
+                                     << " — no schedule can help (Eq. 1)");
+    Weight best_io = kInfiniteWeight;
+    for (const auto& [name, order] : ooc_candidates) {
+      for (const EvictionPolicy policy :
+           {EvictionPolicy::kFirstFit, EvictionPolicy::kBestKCombination}) {
+        const MinIoResult result =
+            minio_heuristic(tree, order, budget, policy);
+        TM_ASSERT(result.feasible, "budget above the floor must be feasible");
+        if (result.io_volume < best_io) {
+          best_io = result.io_volume;
+          schedule = result.schedule;
+          strategy = name + "+" + to_string(policy) + "/out-of-core";
+        }
+      }
+    }
+    out_tree_order = schedule.order;
+    io_volume = best_io;
+  }
+
+  bottom_up_order_ = reverse_traversal(std::move(out_tree_order));
+  io_schedule_ = std::move(schedule);
+  out_of_core_ = out_of_core;
+  planned_budget_ = budget;
+  factor_ = CholeskyFactor{};
+  phase_ = Phase::kPlanned;
+
+  stats_.strategy = std::move(strategy);
+  stats_.memory_budget = budget;
+  stats_.planned_peak_entries = out_of_core ? budget : in_core_peak;
+  stats_.in_core_optimum = optimal.peak;
+  stats_.best_postorder_peak = postorder.peak;
+  stats_.planned_io_volume = io_volume;
+  stats_.plan_seconds = timer.elapsed_s();
+  return *this;
+}
+
+// ---------------------------------------------------------------------------
+// Phase 3: factorize
+// ---------------------------------------------------------------------------
+
+Solver& Solver::factorize(const SymmetricMatrix& matrix) {
+  return factorize(matrix, options_.factorize);
+}
+
+Solver& Solver::factorize(const SymmetricMatrix& matrix,
+                          const FactorizeOptions& options) {
+  require_phase(Phase::kPlanned, "factorize", "plan()");
+  TM_CHECK(matrix.pattern().col_ptr() == pattern_.col_ptr() &&
+               matrix.pattern().row_idx() == pattern_.row_idx(),
+           "Solver::factorize: matrix pattern differs from the analyzed "
+           "pattern");
+  return factorize_permuted(permute_values(matrix.values()), options);
+}
+
+Solver& Solver::factorize(std::vector<double> values) {
+  return factorize(std::move(values), options_.factorize);
+}
+
+Solver& Solver::factorize(std::vector<double> values,
+                          const FactorizeOptions& options) {
+  require_phase(Phase::kPlanned, "factorize", "plan()");
+  TM_CHECK(values.size() == static_cast<std::size_t>(pattern_.nnz()),
+           "Solver::factorize: " << values.size()
+                                 << " values for a pattern with "
+                                 << pattern_.nnz() << " entries");
+  return factorize_permuted(permute_values(values), options);
+}
+
+SymmetricMatrix Solver::permute_values(
+    const std::vector<double>& values) const {
+  // One linear gather over the analyze()-time map replaces a full
+  // symbolic permutation per factorize; the SymmetricMatrix constructor
+  // still validates value symmetry on the permuted system.
+  std::vector<double> permuted_values(permuted_value_map_.size());
+  for (std::size_t o = 0; o < permuted_value_map_.size(); ++o) {
+    permuted_values[o] = values[permuted_value_map_[o]];
+  }
+  return SymmetricMatrix(permuted_pattern_, std::move(permuted_values));
+}
+
+Solver& Solver::factorize_permuted(const SymmetricMatrix& permuted,
+                                   const FactorizeOptions& options) {
+  TM_CHECK(options.workers >= 0,
+           "Solver::factorize: workers must be >= 0 (0 = default)");
+  const int workers = options.workers > 0
+                          ? options.workers
+                          : static_cast<int>(default_thread_count());
+
+  FactorizeEngine engine = options.engine;
+  if (engine == FactorizeEngine::kAuto) {
+    engine = (!out_of_core_ && workers > 1) ? FactorizeEngine::kParallel
+                                            : FactorizeEngine::kSerial;
+  }
+  TM_CHECK(engine == FactorizeEngine::kSerial || !out_of_core_,
+           "Solver::factorize: the parallel engine cannot execute an "
+           "out-of-core plan (spills are inherently serial here); use "
+           "FactorizeEngine::kSerial or raise the memory budget");
+
+  Timer timer;
+  bool stall_fallback = false;
+  const char* engine_name = "serial";
+
+  if (engine == FactorizeEngine::kParallel) {
+    // Designated initialization on purpose: naming every member skips
+    // ParallelFactorOptions' kernel_config_from_env() default, so the
+    // facade stays insulated from the environment (options flow only
+    // through SolverOptions / solver_options_from_env).
+    const ParallelFactorOptions parallel{.workers = workers,
+                                         .memory_budget = planned_budget_,
+                                         .priority = options.priority,
+                                         .kernel = options.kernel};
+    ParallelFactorResult run =
+        factor_parallel(permuted, assembly_, parallel);
+    if (run.feasible) {
+      factor_ = std::move(run.factor);
+      phase_ = Phase::kFactorized;
+      stats_.engine = "parallel";
+      stats_.kernel = to_string(options.kernel.kind);
+      stats_.workers = workers;
+      stats_.flops = run.flops;
+      stats_.measured_peak_entries = run.measured_peak_entries;
+      stats_.modeled_peak_entries = run.modeled_peak_entries;
+      stats_.factorize_seconds = timer.elapsed_s();
+      stats_.parallel_speedup = run.speedup;
+      stats_.stall_fallback = false;
+      ++stats_.factorizations;
+      return *this;
+    }
+    // Greedy stall under a tight budget: the planned serial traversal is
+    // guaranteed feasible, and the serial engine produces the identical
+    // factor bit for bit — fall back unless the caller wants to see it.
+    if (!options.allow_serial_fallback) {
+      std::ostringstream message;
+      message << "Solver::factorize: parallel schedule stalled under budget "
+              << planned_budget_ << " with " << workers
+              << " workers (greedy admission deadlock)";
+      throw SolverStallError(message.str());
+    }
+    stall_fallback = true;
+  }
+
+  Weight measured_peak = 0;
+  long long flops = 0;
+  if (out_of_core_) {
+    OutOfCoreRunResult run = multifrontal_cholesky_out_of_core(
+        permuted, assembly_, io_schedule_, planned_budget_);
+    measured_peak = run.peak_live_entries;
+    // The out-of-core engine does not count flops; the planned schedule
+    // executes the same eliminations, so reuse the serial convention via
+    // the factor itself (flops are reported as 0 when unknown).
+    factor_ = std::move(run.factor);
+    engine_name = "out-of-core";
+  } else {
+    MultifrontalResult run = multifrontal_cholesky(
+        permuted, assembly_, bottom_up_order_, options.kernel);
+    measured_peak = run.peak_live_entries;
+    flops = run.flops;
+    factor_ = std::move(run.factor);
+  }
+  phase_ = Phase::kFactorized;
+  stats_.engine = engine_name;
+  stats_.kernel = to_string(options.kernel.kind);
+  stats_.workers = 1;
+  stats_.flops = flops;
+  stats_.measured_peak_entries = measured_peak;
+  stats_.modeled_peak_entries = stats_.planned_peak_entries;
+  stats_.factorize_seconds = timer.elapsed_s();
+  stats_.parallel_speedup = 0.0;
+  stats_.stall_fallback = stall_fallback;
+  ++stats_.factorizations;
+  return *this;
+}
+
+// ---------------------------------------------------------------------------
+// Phase 4: solve
+// ---------------------------------------------------------------------------
+
+std::vector<double> Solver::solve(std::vector<double> rhs) const {
+  require_phase(Phase::kFactorized, "solve", "factorize()");
+  const std::size_t n = static_cast<std::size_t>(pattern_.cols());
+  TM_CHECK(rhs.size() == n, "Solver::solve: rhs has " << rhs.size()
+                                                      << " entries, expected "
+                                                      << n);
+  Timer timer;
+  // Solve P A Pᵀ y = P b, then undo the permutation: x = Pᵀ y.
+  std::vector<double> permuted_rhs(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    permuted_rhs[k] = rhs[static_cast<std::size_t>(perm_[k])];
+  }
+  const std::vector<double> y =
+      solve_with_factor(factor_, std::move(permuted_rhs));
+  std::vector<double>& x = rhs;  // reuse the buffer
+  for (std::size_t k = 0; k < n; ++k) {
+    x[static_cast<std::size_t>(perm_[k])] = y[k];
+  }
+  stats_.solve_seconds += timer.elapsed_s();
+  ++stats_.rhs_solved;
+  return x;
+}
+
+std::vector<std::vector<double>> Solver::solve(
+    const std::vector<std::vector<double>>& rhs) const {
+  require_phase(Phase::kFactorized, "solve", "factorize()");
+  std::vector<std::vector<double>> solutions;
+  solutions.reserve(rhs.size());
+  for (const std::vector<double>& column : rhs) {
+    solutions.push_back(solve(column));
+  }
+  return solutions;
+}
+
+// ---------------------------------------------------------------------------
+// Introspection
+// ---------------------------------------------------------------------------
+
+const std::vector<Index>& Solver::permutation() const {
+  require_phase(Phase::kAnalyzed, "permutation", "analyze()");
+  return perm_;
+}
+
+const AssemblyTree& Solver::assembly() const {
+  require_phase(Phase::kAnalyzed, "assembly", "analyze()");
+  return assembly_;
+}
+
+const Traversal& Solver::planned_traversal() const {
+  require_phase(Phase::kPlanned, "planned_traversal", "plan()");
+  return bottom_up_order_;
+}
+
+const IoSchedule& Solver::planned_io_schedule() const {
+  require_phase(Phase::kPlanned, "planned_io_schedule", "plan()");
+  return io_schedule_;
+}
+
+const CholeskyFactor& Solver::factor() const {
+  require_phase(Phase::kFactorized, "factor", "factorize()");
+  return factor_;
+}
+
+}  // namespace treemem

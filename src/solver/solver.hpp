@@ -1,0 +1,314 @@
+// treemem::Solver — the phased facade over the whole library: the
+// analyze / plan / factorize / solve pipeline of a production sparse
+// direct solver, with the paper's traversal planning as the plan phase.
+//
+// Before this facade, running the system end to end meant hand-stitching
+// five modules (order/ → symbolic/ → core/planner → multifrontal/numeric*
+// → solve_with_factor) and threading configuration through three disjoint
+// channels. The facade owns that choreography and exposes the standard
+// production split:
+//
+//   Solver solver;
+//   solver.analyze(a.pattern());   // ordering, amalgamation, symbolic
+//   solver.plan();                 // traversal policy + memory budget
+//   solver.factorize(a);           // numeric Cholesky, serial or threaded
+//   std::vector<double> x = solver.solve(b);
+//
+// The phases form an explicit state machine: each call requires its
+// predecessor (a clean treemem::Error otherwise), analyze() invalidates
+// any previous plan and factor, plan() invalidates the factor, and
+// factorize()/solve() may be repeated at will. The point of the split is
+// amortization: the expensive symbolic phase (ordering, elimination tree,
+// amalgamation, traversal planning) is computed once and reused across
+// many numeric factorizations of matrices sharing the pattern — the
+// analyze/factorize structure production codes (and the paper's
+// experiments) presuppose. Repeat factorizations are bit-identical to a
+// fresh end-to-end run: the engine's factor is schedule-exact, so cached
+// symbolic state cannot change a single bit of the numbers.
+//
+// Configuration flows through one aggregate (SolverOptions, one member
+// per phase) with every TREEMEM_* environment override applied by
+// solver_options_from_env() through the strictly-parsed support/env.hpp
+// layer. The low-level entry points the facade wraps stay exported via
+// treemem.hpp for the paper-reproduction benches.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/minmem.hpp"
+#include "core/traversal.hpp"
+#include "dense/front_kernel.hpp"
+#include "multifrontal/numeric.hpp"
+#include "parallel/schedule_core.hpp"
+#include "sparse/pattern.hpp"
+#include "symbolic/assembly_tree.hpp"
+
+namespace treemem {
+
+/// Fill-reducing ordering applied in analyze(). kNatural accepts the
+/// pattern as-is — the choice for matrices permuted by an external
+/// ordering (e.g. the perf corpus instances).
+enum class OrderingChoice {
+  kNatural,
+  kRcm,
+  kMinDegree,
+  kNestedDissection,
+};
+
+const char* to_string(OrderingChoice choice);
+
+/// Traversal policy of plan(). kAuto follows the decision procedure the
+/// paper's experiments justify (core/planner.hpp): best postorder when it
+/// fits the budget, MinMem when only the optimum fits, MinIO out-of-core
+/// below that.
+enum class TraversalPolicy {
+  kAuto,
+  kPostorder,
+  kLiu,
+  kMinMem,
+};
+
+const char* to_string(TraversalPolicy policy);
+
+/// Numeric engine of factorize(). kAuto picks the threaded engine when the
+/// plan is in-core and more than one worker is requested, the serial
+/// engine otherwise (out-of-core plans always run serially).
+enum class FactorizeEngine {
+  kAuto,
+  kSerial,
+  kParallel,
+};
+
+const char* to_string(FactorizeEngine engine);
+
+struct AnalyzeOptions {
+  OrderingChoice ordering = OrderingChoice::kMinDegree;
+  /// Relaxed amalgamations per supernode (assembly_tree.hpp; the paper
+  /// uses 1, 2, 4 and 16). 0 keeps perfect supernodes: model == machine.
+  Index relax = 1;
+  /// Perform perfect (fundamental supernode) amalgamation first.
+  bool perfect = true;
+};
+
+struct PlanOptions {
+  TraversalPolicy policy = TraversalPolicy::kAuto;
+  /// Budget on modeled live entries (Eq. 1 accounting over the assembly
+  /// tree); kInfiniteWeight plans unconstrained.
+  Weight memory_budget = kInfiniteWeight;
+  /// When the budget is below the chosen traversal's in-core peak, fall
+  /// back to a MinIO eviction schedule (out-of-core execution) instead of
+  /// failing. Below max MemReq no schedule exists and plan() throws
+  /// either way.
+  bool allow_out_of_core = true;
+};
+
+struct FactorizeOptions {
+  FactorizeEngine engine = FactorizeEngine::kAuto;
+  /// Worker threads of the parallel engine; 0 defers to
+  /// default_thread_count() (which honors TREEMEM_THREADS).
+  int workers = 0;
+  /// Dense front kernel (the block_size default is the measured-fastest
+  /// 16; see dense/front_kernel.hpp for the bench data).
+  KernelConfig kernel;
+  /// Ready-task priority of the parallel engine's greedy scheduler.
+  ParallelPriority priority = ParallelPriority::kCriticalPath;
+  /// A tight budget can stall the parallel engine's greedy schedule
+  /// (started subtrees strand resident files). When true, such a stall
+  /// falls back to the serial engine along the planned traversal — which
+  /// the plan guarantees feasible — and produces the identical factor
+  /// (bit-exact across engines). When false, a stall throws, so benches
+  /// can observe and report it.
+  bool allow_serial_fallback = true;
+};
+
+/// The one configuration aggregate: one member per phase. Construct a
+/// Solver from it (or pass per-phase options to each call) instead of
+/// threading KernelConfig / ParallelFactorOptions / env lookups by hand.
+struct SolverOptions {
+  AnalyzeOptions analyze;
+  PlanOptions plan;
+  FactorizeOptions factorize;
+};
+
+/// Thrown by factorize() when the parallel engine's greedy schedule
+/// stalls under the memory budget and allow_serial_fallback is off —
+/// typed so benches can chart the stall without string-matching the
+/// message.
+class SolverStallError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// `base` with every TREEMEM_* override applied, through the strict
+/// support/env.hpp parsers (malformed values throw):
+///   TREEMEM_ORDERING  = natural | rcm | mindeg | nd
+///   TREEMEM_TRAVERSAL = auto | postorder | liu | minmem
+///   TREEMEM_BUDGET    = <positive entries>        (plan memory budget)
+///   TREEMEM_WORKERS   = <positive thread count>   (tree-level workers)
+///   TREEMEM_KERNEL    = scalar|blocked|parallel[:<block size>]
+/// (TREEMEM_THREADS keeps steering intra-front workers and the
+/// workers == 0 default through default_thread_count().)
+SolverOptions solver_options_from_env(SolverOptions base = {});
+
+/// Everything the run reported: modeled vs measured memory, flops, fill,
+/// and per-phase wall time. Cumulative counters (factorizations, solves)
+/// reset on analyze(); per-run fields describe the latest call.
+struct SolverStats {
+  // analyze
+  Index n = 0;                       ///< matrix dimension
+  std::int64_t pattern_nnz = 0;      ///< nnz of the (symmetric) pattern
+  std::int64_t factor_nnz = 0;       ///< nnz(L) incl. diagonal — the fill
+  NodeId tree_nodes = 0;             ///< assembly-tree supernodes
+  std::string ordering;              ///< ordering actually applied
+  double analyze_seconds = 0.0;
+
+  // plan
+  std::string strategy;              ///< e.g. "postorder/in-core"
+  Weight memory_budget = kInfiniteWeight;
+  Weight planned_peak_entries = 0;   ///< modeled Eq. 1 peak of the plan
+  Weight in_core_optimum = 0;        ///< MinMem optimum (workspace floor)
+  Weight best_postorder_peak = 0;    ///< what a postorder-only code needs
+  Weight planned_io_volume = 0;      ///< entries written out-of-core (0 in-core)
+  double plan_seconds = 0.0;
+
+  // factorize (latest run; factorizations counts since analyze)
+  std::string engine;                ///< "serial" | "parallel" | "out-of-core"
+  std::string kernel;                ///< dense kernel name
+  int workers = 0;
+  long long flops = 0;
+  Weight measured_peak_entries = 0;  ///< engine-metered live entries
+  /// Modeled Eq. 1 peak governing the run: the executor's accounting on
+  /// parallel runs, the planned traversal's peak on serial runs. Always
+  /// >= measured_peak_entries and <= memory_budget.
+  Weight modeled_peak_entries = 0;
+  double factorize_seconds = 0.0;
+  int factorizations = 0;
+  /// Parallel runs only: sum of per-front busy seconds / makespan.
+  double parallel_speedup = 0.0;
+  /// True when a stalled parallel schedule fell back to the serial engine.
+  bool stall_fallback = false;
+
+  // solve (cumulative since analyze)
+  int rhs_solved = 0;
+  double solve_seconds = 0.0;
+};
+
+class Solver {
+ public:
+  /// Phase defaults = `options`; per-phase overloads override per call.
+  /// The default constructor uses compiled-in defaults only — call
+  /// Solver(solver_options_from_env()) to honor the TREEMEM_* overrides.
+  Solver() = default;
+  explicit Solver(SolverOptions options) : options_(std::move(options)) {}
+
+  // -- Phase 1: symbolic analysis -------------------------------------------
+  /// Orders `pattern` (symmetric, full diagonal — apply symmetrize()
+  /// first), builds the elimination tree and the amalgamated assembly
+  /// tree, and computes the factor's fill. Invalidates any previous plan
+  /// and factor. Returns *this for chaining.
+  Solver& analyze(const SparsePattern& pattern);
+  Solver& analyze(const SparsePattern& pattern, const AnalyzeOptions& options);
+
+  // -- Phase 2: traversal planning ------------------------------------------
+  /// Chooses the bottom-up traversal (and, under a tight budget, the MinIO
+  /// eviction schedule) for the analyzed tree. Requires analyze();
+  /// invalidates any previous factor. Throws when no schedule fits the
+  /// budget (below max MemReq, or out-of-core disallowed).
+  Solver& plan();
+  Solver& plan(const PlanOptions& options);
+
+  // -- Phase 3: numeric factorization ---------------------------------------
+  /// Factors `matrix` (same pattern as analyze(); original, unpermuted
+  /// ordering — the facade permutes internally). Requires plan(). May be
+  /// called any number of times with different value sets; the symbolic
+  /// state and the plan are reused, and each run's factor is bit-identical
+  /// to a fresh end-to-end run on the same values.
+  Solver& factorize(const SymmetricMatrix& matrix);
+  Solver& factorize(const SymmetricMatrix& matrix,
+                    const FactorizeOptions& options);
+  /// Convenience for repeated value sets: `values` aligned with the
+  /// analyzed pattern's row_idx() (symmetry validated).
+  Solver& factorize(std::vector<double> values);
+  Solver& factorize(std::vector<double> values,
+                    const FactorizeOptions& options);
+
+  // -- Phase 4: triangular solves -------------------------------------------
+  /// Solves A x = b in the *original* ordering (permutation applied and
+  /// undone internally). Requires factorize().
+  std::vector<double> solve(std::vector<double> rhs) const;
+  /// Multi-RHS: one forward/backward sweep per column, columns independent.
+  std::vector<std::vector<double>> solve(
+      const std::vector<std::vector<double>>& rhs) const;
+
+  // -- Introspection --------------------------------------------------------
+  bool analyzed() const { return phase_ >= Phase::kAnalyzed; }
+  bool planned() const { return phase_ >= Phase::kPlanned; }
+  bool factorized() const { return phase_ == Phase::kFactorized; }
+
+  const SolverStats& stats() const { return stats_; }
+  const SolverOptions& options() const { return options_; }
+
+  /// The fill-reducing permutation (perm[k] = original column eliminated
+  /// k-th) and the assembly tree it induced. Valid after analyze().
+  const std::vector<Index>& permutation() const;
+  const AssemblyTree& assembly() const;
+
+  /// The planned bottom-up traversal (leaves before roots) and, for
+  /// out-of-core plans, the eviction schedule. Valid after plan().
+  const Traversal& planned_traversal() const;
+  const IoSchedule& planned_io_schedule() const;
+
+  /// The factor of P A Pᵀ (permuted ordering). Valid after factorize().
+  const CholeskyFactor& factor() const;
+
+ private:
+  enum class Phase { kCreated, kAnalyzed, kPlanned, kFactorized };
+
+  void require_phase(Phase at_least, const char* verb,
+                     const char* prerequisite) const;
+  SymmetricMatrix permute_values(const std::vector<double>& values) const;
+  Solver& factorize_permuted(const SymmetricMatrix& permuted,
+                             const FactorizeOptions& options);
+
+  SolverOptions options_;
+  Phase phase_ = Phase::kCreated;
+
+  // analyze() products.
+  SparsePattern pattern_;          ///< analyzed pattern, original ordering
+  std::vector<Index> perm_;        ///< elimination order (original indices)
+  SparsePattern permuted_pattern_; ///< P A Pᵀ — what assembly_ was built on
+  AssemblyTree assembly_;
+  /// Gather map for repeated factorizations: permuted value at offset o is
+  /// the original value at permuted_value_map_[o]. Built once in analyze()
+  /// so factorize() permutes values with one linear pass instead of
+  /// redoing the symbolic permutation per value set.
+  std::vector<std::size_t> permuted_value_map_;
+
+  // Traversal results depend only on the analyzed tree; memoized so
+  // re-planning (the bench's budget sweeps) does not redo the searches.
+  const TraversalResult& cached_postorder() const;
+  const TraversalResult& cached_liu() const;
+  const MinMemResult& cached_minmem() const;
+  mutable std::optional<TraversalResult> postorder_cache_;
+  mutable std::optional<TraversalResult> liu_cache_;
+  mutable std::optional<MinMemResult> minmem_cache_;
+
+  // plan() products.
+  Traversal bottom_up_order_;
+  IoSchedule io_schedule_;         ///< out-tree order + writes (ooc plans)
+  bool out_of_core_ = false;
+  /// The budget factorize() runs under — a plan product, kept separate
+  /// from the reporting-only SolverStats copy.
+  Weight planned_budget_ = kInfiniteWeight;
+
+  // factorize() products.
+  CholeskyFactor factor_;
+
+  // mutable: solve() is logically const but accounts its wall time and
+  // RHS count like every other phase.
+  mutable SolverStats stats_;
+};
+
+}  // namespace treemem

@@ -2,27 +2,25 @@
 
 #include <algorithm>
 #include <atomic>
-#include <cctype>
-#include <cstdlib>
 #include <exception>
+#include <limits>
 #include <mutex>
 #include <thread>
 #include <vector>
 
+#include "support/env.hpp"
+
 namespace treemem {
 
 unsigned default_thread_count() {
-  if (const char* env = std::getenv("TREEMEM_THREADS")) {
-    // Strict parse: the whole value must be a positive integer, otherwise
-    // the setting is ignored (a typo must not silently change the thread
-    // count mid-experiment). Capped to keep absurd values from exhausting
-    // thread handles.
-    char* end = nullptr;
-    const unsigned long parsed = std::strtoul(env, &end, 10);
-    if (std::isdigit(static_cast<unsigned char>(env[0])) && *end == '\0' &&
-        parsed >= 1) {
-      return static_cast<unsigned>(std::min(parsed, 1024UL));
-    }
+  // Strict parse through support/env.hpp: a malformed TREEMEM_THREADS
+  // throws instead of silently running with a different thread count.
+  // Values above 1024 are capped rather than rejected so "very many" keeps
+  // meaning "all the parallelism there is" without exhausting thread
+  // handles.
+  if (const std::optional<long long> env =
+          env_int("TREEMEM_THREADS", 1, std::numeric_limits<long long>::max() / 2)) {
+    return static_cast<unsigned>(std::min<long long>(*env, 1024));
   }
   const unsigned hw = std::thread::hardware_concurrency();
   return hw == 0 ? 1 : hw;

@@ -26,10 +26,11 @@ void parallel_for(std::size_t count, const std::function<void(std::size_t)>& bod
                   unsigned num_threads = 0);
 
 /// Number of worker threads parallel_for would use for `num_threads == 0`:
-/// the TREEMEM_THREADS environment variable when it is a well-formed
-/// positive integer (strictly parsed — no trailing garbage — and capped at
-/// 1024; handy for reproducible timing runs), otherwise the hardware
-/// concurrency (at least 1).
+/// the TREEMEM_THREADS environment variable (a positive integer, capped at
+/// 1024; handy for reproducible timing runs) when set, otherwise the
+/// hardware concurrency (at least 1). Parsed strictly through
+/// support/env.hpp: a malformed value throws treemem::Error instead of
+/// silently changing the thread count mid-experiment.
 unsigned default_thread_count();
 
 }  // namespace treemem

@@ -49,6 +49,20 @@
 #include "parallel/parallel_sim.hpp"
 #include "parallel/schedule_core.hpp"
 
+// The phased solver facade (analyze → plan → factorize → solve) — the
+// recommended entry point; everything below it stays exported for the
+// paper-reproduction benches.
+#include "solver/solver.hpp"
+
 // Experiment layer.
 #include "perf/corpus.hpp"
 #include "perf/profile.hpp"
+
+// Support layer: strictly-parsed TREEMEM_* environment overrides, seeded
+// PRNG, CSV/table reporting, wall-clock timing, parallel loops.
+#include "support/csv.hpp"
+#include "support/env.hpp"
+#include "support/parallel_for.hpp"
+#include "support/prng.hpp"
+#include "support/text_table.hpp"
+#include "support/timer.hpp"

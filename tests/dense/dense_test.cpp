@@ -210,14 +210,20 @@ TEST(KernelConfigEnv, StrictlyParsedLikeTreememThreads) {
   EXPECT_EQ(with_env("parallel:64").block_size, 64u);
   EXPECT_EQ(with_env("scalar").kind, KernelKind::kScalar);
 
-  // Malformed values leave the compiled-in default untouched.
-  for (const char* bad : {"", "bogus", "BLOCKED", "blocked:", "blocked:0",
+  // Malformed values throw (strict parse through support/env.hpp): a typo
+  // surfaces at startup instead of silently switching kernels.
+  for (const char* bad : {"bogus", "BLOCKED", "blocked:", "blocked:0",
                           "blocked:12x", "blocked:999999", "block",
                           "parallelx", ":32"}) {
-    const KernelConfig parsed = with_env(bad);
-    EXPECT_EQ(parsed.kind, base.kind) << "value '" << bad << "'";
-    EXPECT_EQ(parsed.block_size, base.block_size) << "value '" << bad << "'";
+    EXPECT_THROW(with_env(bad), Error) << "value '" << bad << "'";
   }
+  // parse_kernel_spec is the same parser, exposed for CLI flags.
+  EXPECT_EQ(parse_kernel_spec("blocked:32", base).block_size, 32u);
+  EXPECT_THROW(parse_kernel_spec("turbo", base), Error);
+
+  // Empty means "unset", not "malformed".
+  EXPECT_EQ(setenv("TREEMEM_KERNEL", "", 1), 0);
+  EXPECT_EQ(kernel_config_from_env(base).kind, base.kind);
 
   ASSERT_EQ(unsetenv("TREEMEM_KERNEL"), 0);
   EXPECT_EQ(kernel_config_from_env(base).kind, base.kind);

@@ -17,6 +17,7 @@
 #include "multifrontal/numeric.hpp"
 #include "order/ordering.hpp"
 #include "perf/corpus.hpp"
+#include "solver/solver.hpp"
 #include "sparse/generators.hpp"
 #include "symbolic/assembly_tree.hpp"
 #include "symbolic/symbolic.hpp"
@@ -129,28 +130,29 @@ TEST_P(CorpusConsistency, EveryInstanceSatisfiesTheModelInvariants) {
 INSTANTIATE_TEST_SUITE_P(Strides, CorpusConsistency, ::testing::Range(0, 5));
 
 // ---------------------------------------------------------------------------
-// Numeric end-to-end: plan with the library, execute with the engine.
+// Numeric end-to-end through the solver facade (the old hand-stitched
+// pipeline now lives only inside Solver; tests/solver pins the bit-exact
+// parity between the two).
 // ---------------------------------------------------------------------------
 
 TEST(EndToEnd, PlannedTraversalFactorsCorrectlyOnEveryOrdering) {
   const SparsePattern raw = symmetrize(gen::grid2d(9, 9));
   const SymmetricMatrix a = make_spd_matrix(raw, 77);
-  for (const OrderingKind kind :
-       {OrderingKind::kMinDegree, OrderingKind::kNestedDissection}) {
-    const std::vector<Index> perm = kind == OrderingKind::kMinDegree
-                                        ? min_degree_order(raw)
-                                        : nested_dissection_order(raw);
-    const SymmetricMatrix permuted = a.permuted(perm);
-    AssemblyTreeOptions options;
-    options.relax = 2;
-    const AssemblyTree assembly = build_assembly_tree(permuted.pattern(), options);
-
-    const MinMemResult plan = in_tree_minmem_optimal(assembly.tree);
-    const MultifrontalResult run =
-        multifrontal_cholesky(permuted, assembly, plan.order);
-    EXPECT_LT(relative_residual(permuted, run.factor), 1e-12)
-        << to_string(kind);
-    EXPECT_LE(run.peak_live_entries, plan.peak) << to_string(kind);
+  for (const OrderingChoice ordering :
+       {OrderingChoice::kMinDegree, OrderingChoice::kNestedDissection}) {
+    AnalyzeOptions analyze;
+    analyze.ordering = ordering;
+    analyze.relax = 2;
+    PlanOptions plan;
+    plan.policy = TraversalPolicy::kMinMem;
+    Solver solver;
+    solver.analyze(raw, analyze).plan(plan).factorize(a);
+    const SymmetricMatrix permuted = a.permuted(solver.permutation());
+    EXPECT_LT(relative_residual(permuted, solver.factor()), 1e-12)
+        << to_string(ordering);
+    EXPECT_LE(solver.stats().measured_peak_entries,
+              solver.stats().planned_peak_entries)
+        << to_string(ordering);
   }
 }
 
@@ -158,12 +160,24 @@ TEST(EndToEnd, RcmOrderingAlsoWorksThroughThePipeline) {
   Prng prng(5);
   const SparsePattern raw = symmetrize(gen::banded(80, 6, 0.5, prng));
   const SymmetricMatrix a = make_spd_matrix(raw, 5);
-  const SymmetricMatrix permuted = a.permuted(rcm_order(raw));
-  const AssemblyTree assembly = build_assembly_tree(permuted.pattern(), {});
-  const TraversalResult order = in_tree_best_postorder(assembly.tree);
-  const MultifrontalResult run =
-      multifrontal_cholesky(permuted, assembly, order.order);
-  EXPECT_LT(relative_residual(permuted, run.factor), 1e-12);
+  AnalyzeOptions analyze;
+  analyze.ordering = OrderingChoice::kRcm;
+  analyze.relax = 1;
+  PlanOptions plan;
+  plan.policy = TraversalPolicy::kPostorder;
+  Solver solver;
+  solver.analyze(raw, analyze).plan(plan).factorize(a);
+  EXPECT_LT(relative_residual(a.permuted(solver.permutation()),
+                              solver.factor()),
+            1e-12);
+
+  // The facade's solve closes the loop on the original ordering.
+  const std::vector<double> b(80, 1.0);
+  const std::vector<double> x = solver.solve(b);
+  const std::vector<double> ax = a.multiply(x);
+  for (std::size_t i = 0; i < ax.size(); ++i) {
+    EXPECT_NEAR(ax[i], b[i], 1e-10);
+  }
 }
 
 // ---------------------------------------------------------------------------

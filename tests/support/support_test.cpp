@@ -14,6 +14,7 @@
 #include "support/ascii_plot.hpp"
 #include "support/check.hpp"
 #include "support/csv.hpp"
+#include "support/env.hpp"
 #include "support/parallel_for.hpp"
 #include "support/prng.hpp"
 #include "support/stack_runner.hpp"
@@ -254,12 +255,48 @@ TEST(ParallelFor, DefaultThreadCountRejectsMalformedTreememThreads) {
   ::unsetenv("TREEMEM_THREADS");
   const unsigned fallback = default_thread_count();
   EXPECT_GE(fallback, 1u);
-  // Invalid settings fall back to hardware concurrency instead of silently
-  // picking a surprising count.
-  for (const char* bad : {"0", "-2", "abc", "4x", " 4", ""}) {
+  // Invalid settings throw (strict parse through support/env.hpp): a typo
+  // surfaces at startup instead of silently changing the thread count.
+  for (const char* bad : {"0", "-2", "abc", "4x", " 4", "+4"}) {
     ::setenv("TREEMEM_THREADS", bad, 1);
-    EXPECT_EQ(default_thread_count(), fallback) << "value: '" << bad << "'";
+    EXPECT_THROW(default_thread_count(), Error) << "value: '" << bad << "'";
   }
+  // An empty value means "unset", not "malformed".
+  ::setenv("TREEMEM_THREADS", "", 1);
+  EXPECT_EQ(default_thread_count(), fallback);
+}
+
+TEST(EnvLayer, StrictParsersAcceptAndReject) {
+  ThreadsEnvGuard guard;  // reuses TREEMEM_THREADS as the scratch variable
+  ::setenv("TREEMEM_THREADS", "42", 1);
+  EXPECT_EQ(env_int("TREEMEM_THREADS", 1, 100).value(), 42);
+  EXPECT_THROW(env_int("TREEMEM_THREADS", 1, 10), Error);  // out of range
+  EXPECT_EQ(env_string("TREEMEM_THREADS").value(), "42");
+  ::unsetenv("TREEMEM_THREADS");
+  EXPECT_FALSE(env_int("TREEMEM_THREADS", 1, 100).has_value());
+  EXPECT_FALSE(env_string("TREEMEM_THREADS").has_value());
+
+  EXPECT_EQ(parse_int_strict("-7", -10, 10, "test"), -7);
+  for (const char* bad : {"", "-", "1.5", "0x10", "9999999999999999999999"}) {
+    EXPECT_THROW(parse_int_strict(bad, -100, 100, "test"), Error)
+        << "value: '" << bad << "'";
+  }
+
+  ::setenv("TREEMEM_THREADS", "1.5", 1);
+  EXPECT_DOUBLE_EQ(env_double("TREEMEM_THREADS", 0.0, 10.0).value(), 1.5);
+  ::setenv("TREEMEM_THREADS", "2e-1", 1);
+  EXPECT_DOUBLE_EQ(env_double("TREEMEM_THREADS", 0.0, 10.0).value(), 0.2);
+  // Same strictness as the integer parser: no '+', hex floats, inf/nan.
+  for (const char* bad : {"fast", "+4", "0x10", " 1", "inf", "nan"}) {
+    ::setenv("TREEMEM_THREADS", bad, 1);
+    EXPECT_THROW(env_double("TREEMEM_THREADS", 0.0, 100.0), Error)
+        << "value: '" << bad << "'";
+  }
+  const std::vector<std::string> choices = {"red", "green"};
+  ::setenv("TREEMEM_THREADS", "green", 1);
+  EXPECT_EQ(env_choice("TREEMEM_THREADS", choices).value(), 1u);
+  ::setenv("TREEMEM_THREADS", "blue", 1);
+  EXPECT_THROW(env_choice("TREEMEM_THREADS", choices), Error);
 }
 
 TEST(Check, MessagesCarryContext) {
