@@ -12,27 +12,47 @@
 //                     [--relax R] [--memory M]
 //                     [--traversal auto|postorder|liu|minmem]
 //                     [--workers W] [--kernel scalar|blocked|parallel[:nb]]
-//                     [--rhs K] [--seed S] [--csv stats.csv]
-//       The full pipeline: analyze -> plan -> factorize -> solve on
-//       deterministic SPD values (seeded) with K right-hand sides, printing
-//       the per-phase SolverStats and optionally appending them to a CSV
-//       (the bench-smoke artifact format).
+//                     [--rhs K] [--seed S] [--synthetic] [--csv stats.csv]
+//       The full pipeline: analyze -> plan -> factorize -> solve with K
+//       right-hand sides, printing the per-phase SolverStats and optionally
+//       appending them to a CSV (the bench-smoke artifact format). The
+//       file's own numeric values are factorized; --synthetic (or a
+//       pattern-field file, which carries no values) substitutes the seeded
+//       deterministic SPD value set instead.
+//
+//   treemem_cli serve <trace.txt> [solve flags] [--pool-workers W]
+//                     [--repeat R] [--csv stats.csv]
+//       Solver-as-a-service replay: each trace line is
+//           <matrix.mtx> <value-seed> <num-rhs>
+//       (# comments and blank lines skipped; value-seed 0 uses the file's
+//       own values, anything else seeds synthetic SPD values on the file's
+//       pattern). Requests stream through a SolverPool sharing one
+//       SymbolicCache, so repeated patterns skip analyze+plan; --repeat
+//       replays the whole trace R times. Prints solves/sec and latency
+//       percentiles.
 //
 //   treemem_cli tree <tree.txt> [--memory M]
 //       The same MinMemory analysis for a task tree in the treemem text
 //       format (no numeric phases — trees carry no values).
 //
-//   treemem_cli gen grid2d <nx> <ny> <out.mtx>
-//       Writes a generated matrix for experimentation.
+//   treemem_cli gen grid2d <nx> <ny> <out.mtx> [--values S]
+//       Writes a generated matrix for experimentation: the bare pattern by
+//       default, or — with --values — a real symmetric file carrying the
+//       seeded SPD value set (what `solve` factorizes without --synthetic).
 #include <algorithm>
 #include <cmath>
 #include <cstring>
+#include <fstream>
+#include <future>
 #include <iomanip>
 #include <iostream>
 #include <limits>
+#include <map>
 #include <optional>
 #include <sstream>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "treemem.hpp"
 
@@ -50,9 +70,13 @@ int usage() {
       << "                    [--traversal auto|postorder|liu|minmem]"
          " [--workers W]\n"
       << "                    [--kernel scalar|blocked|parallel[:nb]]"
-         " [--rhs K] [--seed S] [--csv stats.csv]\n"
+         " [--rhs K] [--seed S] [--synthetic] [--csv stats.csv]\n"
+      << "  treemem_cli serve <trace.txt> [solve flags] [--pool-workers W]"
+         " [--repeat R] [--csv stats.csv]\n"
+      << "      trace line: <matrix.mtx> <value-seed> <num-rhs>"
+         " (seed 0 = the file's own values)\n"
       << "  treemem_cli tree <tree.txt> [--memory M]\n"
-      << "  treemem_cli gen grid2d <nx> <ny> <out.mtx>\n";
+      << "  treemem_cli gen grid2d <nx> <ny> <out.mtx> [--values S]\n";
   return 2;
 }
 
@@ -112,6 +136,9 @@ struct CliOptions {
   std::string kernel_spec;
   int rhs = 1;
   std::uint64_t seed = 2011;
+  bool synthetic = false;
+  int pool_workers = 0;
+  int repeat = 1;
   std::string csv_path;
 };
 
@@ -137,11 +164,11 @@ std::string seconds(double s) {
   return oss.str();
 }
 
-int run_solve(const std::string& path, const CliOptions& cli) {
+std::optional<SolverOptions> solver_options_of(const CliOptions& cli) {
   const auto ordering = ordering_of(cli.order_name);
   const auto traversal = traversal_of(cli.traversal_name);
-  if (!ordering || !traversal || cli.rhs < 1) {
-    return usage();
+  if (!ordering || !traversal) {
+    return std::nullopt;
   }
   SolverOptions options;
   options.analyze.ordering = *ordering;
@@ -155,11 +182,35 @@ int run_solve(const std::string& path, const CliOptions& cli) {
     options.factorize.kernel =
         parse_kernel_spec(cli.kernel_spec, options.factorize.kernel);
   }
+  return options;
+}
 
-  const SparsePattern a = symmetrize(read_matrix_market_file(path));
-  const SymmetricMatrix matrix = make_spd_matrix(a, cli.seed);
+int run_solve(const std::string& path, const CliOptions& cli) {
+  const auto options = solver_options_of(cli);
+  if (!options || cli.rhs < 1) {
+    return usage();
+  }
 
-  Solver solver(options);
+  // Factorize the file's own values; fall back to the seeded synthetic SPD
+  // set when asked to (--synthetic) or when the file is pattern-only and
+  // has no values to offer.
+  MatrixMarketData data = read_matrix_market_data_file(path);
+  const bool synthetic = cli.synthetic || !data.has_values();
+  SymmetricMatrix matrix;
+  if (synthetic) {
+    if (!cli.synthetic) {
+      std::cout << "note: " << path
+                << " is pattern-only; factorizing seeded synthetic SPD "
+                   "values (seed "
+                << cli.seed << ")\n";
+    }
+    matrix = make_spd_matrix(symmetrize(data.pattern), cli.seed);
+  } else {
+    matrix = matrix_from_matrix_market(std::move(data));
+  }
+  const SparsePattern& a = matrix.pattern();
+
+  Solver solver(*options);
   solver.analyze(a).plan().factorize(matrix);
 
   // Seeded right-hand sides, solved in one multi-RHS call.
@@ -181,8 +232,13 @@ int run_solve(const std::string& path, const CliOptions& cli) {
     residual = std::max(residual, relative_residual(matrix, x[c], rhs[c]));
   }
 
-  const SolverStats& stats = solver.stats();
+  const SolverStats stats = solver.stats();
   TextTable table({"phase", "result", "seconds"});
+  table.add_row({"values",
+                 synthetic ? "synthetic (seed " + std::to_string(cli.seed) + ")"
+                           : "from file (" + std::to_string(a.nnz()) +
+                                 " entries)",
+                 "-"});
   table.add_row({"analyze",
                  "n=" + std::to_string(stats.n) + " nnz(L)=" +
                      std::to_string(stats.factor_nnz) + " supernodes=" +
@@ -212,14 +268,16 @@ int run_solve(const std::string& path, const CliOptions& cli) {
 
   if (!cli.csv_path.empty()) {
     CsvWriter csv(cli.csv_path,
-                  {"matrix", "n", "pattern_nnz", "factor_nnz", "tree_nodes",
+                  {"matrix", "values", "n", "pattern_nnz", "factor_nnz",
+                   "tree_nodes",
                    "ordering", "strategy", "memory_budget",
                    "planned_peak", "in_core_optimum", "planned_io_volume",
                    "engine", "kernel", "workers", "flops", "measured_peak",
                    "modeled_peak", "rhs", "residual", "analyze_seconds",
                    "plan_seconds", "factorize_seconds", "solve_seconds"});
     csv.write_row(
-        {path, CsvWriter::cell(static_cast<long long>(stats.n)),
+        {path, synthetic ? "synthetic" : "file",
+         CsvWriter::cell(static_cast<long long>(stats.n)),
          CsvWriter::cell(static_cast<long long>(stats.pattern_nnz)),
          CsvWriter::cell(static_cast<long long>(stats.factor_nnz)),
          CsvWriter::cell(static_cast<long long>(stats.tree_nodes)),
@@ -245,6 +303,155 @@ int run_solve(const std::string& path, const CliOptions& cli) {
   return 0;
 }
 
+/// One parsed line of a serve trace: which matrix file, which value seed
+/// (0 = the file's own values), how many right-hand sides.
+struct TraceLine {
+  std::string path;
+  std::uint64_t seed = 0;
+  int num_rhs = 1;
+};
+
+std::vector<TraceLine> read_trace(const std::string& path) {
+  std::ifstream in(path);
+  TM_CHECK(in.good(), "cannot open trace " << path);
+  std::vector<TraceLine> lines;
+  std::string text;
+  int line_no = 0;
+  while (std::getline(in, text)) {
+    ++line_no;
+    const std::size_t start = text.find_first_not_of(" \t\r");
+    if (start == std::string::npos || text[start] == '#') {
+      continue;
+    }
+    std::istringstream iss(text);
+    TraceLine line;
+    long long seed = 0;
+    if (!(iss >> line.path >> seed >> line.num_rhs) || seed < 0 ||
+        line.num_rhs < 1) {
+      TM_CHECK(false, path << ":" << line_no
+                           << ": expected '<matrix.mtx> <value-seed>"
+                              " <num-rhs>', got '"
+                           << text << "'");
+    }
+    line.seed = static_cast<std::uint64_t>(seed);
+    lines.push_back(std::move(line));
+  }
+  TM_CHECK(!lines.empty(), "trace " << path << " has no requests");
+  return lines;
+}
+
+int run_serve(const std::string& trace_path, const CliOptions& cli) {
+  const auto options = solver_options_of(cli);
+  if (!options || cli.repeat < 1) {
+    return usage();
+  }
+  const std::vector<TraceLine> lines = read_trace(trace_path);
+
+  // Each matrix file is parsed once; repeats and duplicate lines reuse the
+  // in-memory copy (the service analogue: tenants hold their own data).
+  std::map<std::string, MatrixMarketData> files;
+  for (const TraceLine& line : lines) {
+    if (!files.count(line.path)) {
+      files.emplace(line.path, read_matrix_market_data_file(line.path));
+    }
+  }
+  const auto matrix_of = [&](const TraceLine& line) {
+    const MatrixMarketData& data = files.at(line.path);
+    if (line.seed == 0) {
+      return matrix_from_matrix_market(data);  // copies: data is reused
+    }
+    return make_spd_matrix(symmetrize(data.pattern), line.seed);
+  };
+
+  SolverPoolOptions pool_options;
+  pool_options.workers = cli.pool_workers;
+  pool_options.solver = *options;
+  SolverPool pool(pool_options);
+
+  Timer wall;
+  std::vector<std::future<SolveOutcome>> futures;
+  futures.reserve(lines.size() * static_cast<std::size_t>(cli.repeat));
+  for (int rep = 0; rep < cli.repeat; ++rep) {
+    for (const TraceLine& line : lines) {
+      SolveRequest request;
+      request.matrix = matrix_of(line);
+      const std::size_t n = static_cast<std::size_t>(request.matrix.size());
+      Prng rhs_prng(line.seed * 7919 + 17 +
+                    static_cast<std::uint64_t>(rep) * 104729);
+      request.rhs.assign(static_cast<std::size_t>(line.num_rhs),
+                         std::vector<double>(n));
+      for (auto& column : request.rhs) {
+        for (double& v : column) {
+          v = rhs_prng.uniform_real(-1.0, 1.0);
+        }
+      }
+      futures.push_back(pool.submit(std::move(request)));
+    }
+  }
+
+  long long rhs_columns = 0;
+  std::vector<double> latencies;
+  latencies.reserve(futures.size());
+  for (std::future<SolveOutcome>& future : futures) {
+    SolveOutcome outcome = future.get();
+    rhs_columns += static_cast<long long>(outcome.solutions.size());
+    latencies.push_back(outcome.seconds);
+  }
+  const double wall_seconds = wall.elapsed_s();
+
+  std::sort(latencies.begin(), latencies.end());
+  const auto percentile = [&](double p) {
+    const std::size_t index = static_cast<std::size_t>(
+        p * static_cast<double>(latencies.size() - 1) + 0.5);
+    return latencies[index] * 1e3;  // ms
+  };
+  const double solves_per_sec =
+      wall_seconds > 0.0 ? static_cast<double>(rhs_columns) / wall_seconds
+                         : 0.0;
+  const SymbolicCache::Stats cache = pool.cache_stats();
+  const SolverStats totals = pool.aggregated_stats();
+
+  TextTable table({"quantity", "value"});
+  table.add_row({"requests", std::to_string(futures.size())});
+  table.add_row({"rhs columns", std::to_string(rhs_columns)});
+  table.add_row({"pool workers", std::to_string(pool.workers())});
+  table.add_row({"wall seconds", seconds(wall_seconds)});
+  table.add_row({"solves/sec", seconds(solves_per_sec)});
+  table.add_row({"latency p50 (ms)", seconds(percentile(0.50))});
+  table.add_row({"latency p99 (ms)", seconds(percentile(0.99))});
+  table.add_row({"symbolic cache", std::to_string(cache.hits) + " hits / " +
+                                       std::to_string(cache.misses) +
+                                       " misses (" +
+                                       std::to_string(cache.entries) +
+                                       " patterns)"});
+  table.add_row({"factorizations", std::to_string(totals.factorizations)});
+  table.add_row({"rhs solved", std::to_string(totals.rhs_solved)});
+  std::cout << table.to_string();
+
+  if (!cli.csv_path.empty()) {
+    CsvWriter csv(cli.csv_path,
+                  {"trace", "requests", "rhs_columns", "pool_workers",
+                   "wall_seconds", "solves_per_sec", "p50_ms", "p99_ms",
+                   "cache_hits", "cache_misses", "cache_patterns",
+                   "factorizations", "rhs_solved"});
+    csv.write_row({trace_path,
+                   CsvWriter::cell(static_cast<long long>(futures.size())),
+                   CsvWriter::cell(rhs_columns),
+                   CsvWriter::cell(static_cast<long long>(pool.workers())),
+                   CsvWriter::cell(wall_seconds),
+                   CsvWriter::cell(solves_per_sec),
+                   CsvWriter::cell(percentile(0.50)),
+                   CsvWriter::cell(percentile(0.99)),
+                   CsvWriter::cell(cache.hits), CsvWriter::cell(cache.misses),
+                   CsvWriter::cell(static_cast<long long>(cache.entries)),
+                   CsvWriter::cell(static_cast<long long>(
+                       totals.factorizations)),
+                   CsvWriter::cell(static_cast<long long>(totals.rhs_solved))});
+    std::cout << "stats: " << csv.path() << "\n";
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -255,13 +462,25 @@ int main(int argc, char** argv) {
 
   try {
     if (command == "gen") {
-      if (argc != 6 || std::strcmp(argv[2], "grid2d") != 0) {
+      const bool with_values =
+          argc == 8 && std::strcmp(argv[6], "--values") == 0;
+      if ((argc != 6 && !with_values) || std::strcmp(argv[2], "grid2d") != 0) {
         return usage();
       }
       const Index nx = static_cast<Index>(std::atoi(argv[3]));
       const Index ny = static_cast<Index>(std::atoi(argv[4]));
-      write_matrix_market_file(argv[5], gen::grid2d(nx, ny), true);
-      std::cout << "wrote " << argv[5] << " (" << nx * ny << " rows)\n";
+      if (with_values) {
+        const std::uint64_t seed = static_cast<std::uint64_t>(parse_int_strict(
+            argv[7], 0, std::numeric_limits<long long>::max() / 2,
+            "--values"));
+        write_matrix_market_file(
+            argv[5], make_spd_matrix(gen::grid2d(nx, ny), seed), true);
+        std::cout << "wrote " << argv[5] << " (" << nx * ny
+                  << " rows, SPD values seed " << seed << ")\n";
+      } else {
+        write_matrix_market_file(argv[5], gen::grid2d(nx, ny), true);
+        std::cout << "wrote " << argv[5] << " (" << nx * ny << " rows)\n";
+      }
       return 0;
     }
 
@@ -292,6 +511,14 @@ int main(int argc, char** argv) {
         cli.seed = static_cast<std::uint64_t>(parse_int_strict(
             argv[++i], 0, std::numeric_limits<long long>::max() / 2,
             "--seed"));
+      } else if (std::strcmp(argv[i], "--synthetic") == 0) {
+        cli.synthetic = true;
+      } else if (std::strcmp(argv[i], "--pool-workers") == 0 && i + 1 < argc) {
+        cli.pool_workers = static_cast<int>(
+            parse_int_strict(argv[++i], 0, 1024, "--pool-workers"));
+      } else if (std::strcmp(argv[i], "--repeat") == 0 && i + 1 < argc) {
+        cli.repeat = static_cast<int>(
+            parse_int_strict(argv[++i], 1, 1 << 20, "--repeat"));
       } else if (std::strcmp(argv[i], "--csv") == 0 && i + 1 < argc) {
         cli.csv_path = argv[++i];
       } else {
@@ -305,6 +532,9 @@ int main(int argc, char** argv) {
     }
     if (command == "solve") {
       return run_solve(argv[2], cli);
+    }
+    if (command == "serve") {
+      return run_serve(argv[2], cli);
     }
     if (command != "plan") {
       return usage();

@@ -46,48 +46,16 @@
 
 #include "core/traversal.hpp"
 #include "dense/front_kernel.hpp"
+#include "sparse/matrix.hpp"
 #include "sparse/pattern.hpp"
 #include "symbolic/assembly_tree.hpp"
 #include "tree/tree.hpp"
 
 namespace treemem {
 
-/// A symmetric matrix with values: `pattern` holds the full symmetric
-/// pattern (both triangles + diagonal); `value_of(r, c)` is defined for
-/// every stored entry, with value(r,c) == value(c,r).
-class SymmetricMatrix {
- public:
-  SymmetricMatrix() = default;
-
-  /// `values` aligned with pattern.row_idx(). The symmetry of the values is
-  /// validated on construction.
-  SymmetricMatrix(SparsePattern pattern, std::vector<double> values);
-
-  const SparsePattern& pattern() const { return pattern_; }
-  Index size() const { return pattern_.cols(); }
-
-  /// Raw values, aligned with pattern().row_idx().
-  const std::vector<double>& values() const { return values_; }
-
-  /// Value at (row, col); zero if the entry is not stored.
-  double value_of(Index row, Index col) const;
-
-  /// A·x over the stored entries — the residual metric's matvec.
-  std::vector<double> multiply(const std::vector<double>& x) const;
-
-  /// P A Pᵀ with the same convention as permute_symmetric.
-  SymmetricMatrix permuted(const std::vector<Index>& perm) const;
-
- private:
-  SparsePattern pattern_;
-  std::vector<double> values_;
-};
-
-/// A strictly diagonally dominant (hence SPD) matrix on the given symmetric
-/// pattern: off-diagonals drawn in [-1, -1/4] ∪ [1/4, 1], diagonal set to
-/// 1 + Σ|row off-diagonals|. Deterministic in `seed`.
-SymmetricMatrix make_spd_matrix(const SparsePattern& pattern,
-                                std::uint64_t seed);
+// SymmetricMatrix and make_spd_matrix moved down into sparse/matrix.hpp
+// (so the Matrix Market reader can produce real-valued matrices); the
+// include above keeps every existing consumer of this header working.
 
 /// Lower-triangular factor in CSC form (pattern includes the diagonal).
 struct CholeskyFactor {

@@ -1,0 +1,66 @@
+#include "perf/traffic.hpp"
+
+#include "sparse/generators.hpp"
+#include "support/check.hpp"
+#include "support/prng.hpp"
+
+namespace treemem {
+
+long long ServiceTrace::total_rhs() const {
+  long long total = 0;
+  for (const ServiceRequest& request : requests) {
+    total += request.num_rhs;
+  }
+  return total;
+}
+
+ServiceTrace build_service_trace(const TrafficOptions& options) {
+  TM_CHECK(options.patterns > 0, "traffic: need at least one pattern");
+  TM_CHECK(options.requests > 0, "traffic: need at least one request");
+  TM_CHECK(options.grid_base >= 2, "traffic: grid_base must be >= 2");
+  TM_CHECK(options.max_rhs > 0, "traffic: max_rhs must be positive");
+
+  ServiceTrace trace;
+  trace.patterns.reserve(static_cast<std::size_t>(options.patterns));
+  for (int i = 0; i < options.patterns; ++i) {
+    const Index edge = options.grid_base + 2 * static_cast<Index>(i);
+    trace.patterns.push_back(gen::grid2d(edge, edge));
+  }
+
+  Prng prng(options.seed);
+  trace.requests.reserve(static_cast<std::size_t>(options.requests));
+  for (int r = 0; r < options.requests; ++r) {
+    ServiceRequest request;
+    request.pattern_id =
+        static_cast<int>(prng.uniform_int(0, options.patterns - 1));
+    request.value_seed = prng.next_u64();
+    request.num_rhs = static_cast<int>(prng.uniform_int(1, options.max_rhs));
+    trace.requests.push_back(request);
+  }
+  return trace;
+}
+
+SolveRequest materialize_request(const ServiceTrace& trace,
+                                 const ServiceRequest& request) {
+  TM_CHECK(request.pattern_id >= 0 &&
+               static_cast<std::size_t>(request.pattern_id) <
+                   trace.patterns.size(),
+           "traffic: request references pattern " << request.pattern_id
+                                                  << " outside the trace");
+  const SparsePattern& pattern =
+      trace.patterns[static_cast<std::size_t>(request.pattern_id)];
+  SolveRequest job;
+  job.matrix = make_spd_matrix(pattern, request.value_seed);
+  const std::size_t n = static_cast<std::size_t>(pattern.cols());
+  Prng rhs_prng(request.value_seed ^ 0x5157CE5Bu);  // distinct rhs stream
+  job.rhs.resize(static_cast<std::size_t>(request.num_rhs));
+  for (std::vector<double>& column : job.rhs) {
+    column.resize(n);
+    for (double& entry : column) {
+      entry = rhs_prng.uniform_real(-1.0, 1.0);
+    }
+  }
+  return job;
+}
+
+}  // namespace treemem

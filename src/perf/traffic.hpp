@@ -1,0 +1,58 @@
+// Deterministic solver-service traffic traces.
+//
+// The solver_service bench (and the pool tests) need a reproducible
+// stream of "tenant" requests with realistic structure: a small set of
+// distinct sparsity patterns hit over and over with fresh value sets and
+// varying right-hand-side batch sizes — the workload shape a symbolic
+// cache exists for — plus a knob to dial pattern reuse down to zero for
+// the cold-analyze baseline. Everything is seeded through support/prng,
+// so the same TrafficOptions produce the same trace on every machine.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "solver/solver_pool.hpp"
+#include "sparse/matrix.hpp"
+#include "sparse/pattern.hpp"
+
+namespace treemem {
+
+struct TrafficOptions {
+  /// Distinct sparsity patterns in rotation (the cache's working set).
+  int patterns = 4;
+  /// Total requests in the trace.
+  int requests = 64;
+  /// Base grid edge for the generated patterns (pattern i is a 2-D grid
+  /// of edge `grid_base + 2 * i`, so sizes vary across the set).
+  Index grid_base = 12;
+  /// Right-hand-side columns per request, uniform in [1, max_rhs].
+  int max_rhs = 4;
+  std::uint64_t seed = 20110516;  // IPDPS 2011
+};
+
+/// One request of the trace: which pattern, which value seed (feeding
+/// make_spd_matrix — every request gets a distinct SPD value set on its
+/// pattern), how many rhs columns.
+struct ServiceRequest {
+  int pattern_id = 0;
+  std::uint64_t value_seed = 0;
+  int num_rhs = 1;
+};
+
+struct ServiceTrace {
+  std::vector<SparsePattern> patterns;
+  std::vector<ServiceRequest> requests;
+
+  /// Total rhs columns across the trace (the "solves" of solves/sec).
+  long long total_rhs() const;
+};
+
+ServiceTrace build_service_trace(const TrafficOptions& options);
+
+/// Materializes one request: the SPD matrix on its pattern (seeded by
+/// value_seed) plus `num_rhs` deterministic dense right-hand sides.
+SolveRequest materialize_request(const ServiceTrace& trace,
+                                 const ServiceRequest& request);
+
+}  // namespace treemem

@@ -102,6 +102,9 @@ Solver& Solver::analyze(const SparsePattern& pattern,
            "(apply symmetrize() first)");
   Timer timer;
 
+  auto analysis = std::make_shared<SolverAnalysis>();
+  analysis->options = options;
+
   std::vector<Index> perm;
   switch (options.ordering) {
     case OrderingChoice::kNatural:
@@ -146,29 +149,33 @@ Solver& Solver::analyze(const SparsePattern& pattern,
     }
   }
 
+  analysis->pattern = pattern;
+  analysis->perm = std::move(perm);
+  analysis->permuted_pattern = std::move(permuted);
+  analysis->assembly = std::move(assembly);
+  analysis->permuted_value_map = std::move(value_map);
+  analysis->factor_nnz = factor_nnz(analysis->permuted_pattern);
+  analysis->ordering_name = to_string(options.ordering);
+  analysis->analyze_seconds = timer.elapsed_s();
+
   // Commit only after everything above succeeded, so a throwing analyze()
   // leaves a previously analyzed solver intact.
-  pattern_ = pattern;
-  perm_ = std::move(perm);
-  permuted_pattern_ = std::move(permuted);
-  assembly_ = std::move(assembly);
-  permuted_value_map_ = std::move(value_map);
+  analysis_ = std::move(analysis);
+  plan_.reset();
   postorder_cache_.reset();
   liu_cache_.reset();
   minmem_cache_.reset();
-  bottom_up_order_.clear();
-  io_schedule_ = IoSchedule{};
-  out_of_core_ = false;
   factor_ = CholeskyFactor{};
   phase_ = Phase::kAnalyzed;
 
   stats_ = SolverStats{};
-  stats_.n = pattern_.cols();
-  stats_.pattern_nnz = pattern_.nnz();
-  stats_.factor_nnz = factor_nnz(permuted_pattern_);
-  stats_.tree_nodes = assembly_.tree.size();
-  stats_.ordering = to_string(options.ordering);
-  stats_.analyze_seconds = timer.elapsed_s();
+  solve_counters_.reset();
+  stats_.n = analysis_->pattern.cols();
+  stats_.pattern_nnz = analysis_->pattern.nnz();
+  stats_.factor_nnz = analysis_->factor_nnz;
+  stats_.tree_nodes = analysis_->assembly.tree.size();
+  stats_.ordering = analysis_->ordering_name;
+  stats_.analyze_seconds = analysis_->analyze_seconds;
   return *this;
 }
 
@@ -180,21 +187,21 @@ Solver& Solver::plan() { return plan(options_.plan); }
 
 const TraversalResult& Solver::cached_postorder() const {
   if (!postorder_cache_) {
-    postorder_cache_ = best_postorder(assembly_.tree);
+    postorder_cache_ = best_postorder(analysis_->assembly.tree);
   }
   return *postorder_cache_;
 }
 
 const TraversalResult& Solver::cached_liu() const {
   if (!liu_cache_) {
-    liu_cache_ = liu_optimal(assembly_.tree);
+    liu_cache_ = liu_optimal(analysis_->assembly.tree);
   }
   return *liu_cache_;
 }
 
 const MinMemResult& Solver::cached_minmem() const {
   if (!minmem_cache_) {
-    minmem_cache_ = minmem_optimal(assembly_.tree);
+    minmem_cache_ = minmem_optimal(analysis_->assembly.tree);
   }
   return *minmem_cache_;
 }
@@ -204,7 +211,7 @@ Solver& Solver::plan(const PlanOptions& options) {
   TM_CHECK(options.memory_budget > 0,
            "Solver::plan: memory budget must be positive");
   Timer timer;
-  const Tree& tree = assembly_.tree;
+  const Tree& tree = analysis_->assembly.tree;
   const Weight budget = options.memory_budget;
 
   const TraversalResult& postorder = cached_postorder();
@@ -296,20 +303,73 @@ Solver& Solver::plan(const PlanOptions& options) {
     io_volume = best_io;
   }
 
-  bottom_up_order_ = reverse_traversal(std::move(out_tree_order));
-  io_schedule_ = std::move(schedule);
-  out_of_core_ = out_of_core;
-  planned_budget_ = budget;
+  auto plan_state = std::make_shared<SolverPlan>();
+  plan_state->options = options;
+  plan_state->bottom_up_order = reverse_traversal(std::move(out_tree_order));
+  plan_state->io_schedule = std::move(schedule);
+  plan_state->out_of_core = out_of_core;
+  plan_state->budget = budget;
+  plan_state->strategy = std::move(strategy);
+  plan_state->planned_peak_entries = out_of_core ? budget : in_core_peak;
+  plan_state->in_core_optimum = optimal.peak;
+  plan_state->best_postorder_peak = postorder.peak;
+  plan_state->planned_io_volume = io_volume;
+  plan_state->plan_seconds = timer.elapsed_s();
+
+  plan_ = std::move(plan_state);
   factor_ = CholeskyFactor{};
   phase_ = Phase::kPlanned;
 
-  stats_.strategy = std::move(strategy);
+  stats_.strategy = plan_->strategy;
   stats_.memory_budget = budget;
-  stats_.planned_peak_entries = out_of_core ? budget : in_core_peak;
-  stats_.in_core_optimum = optimal.peak;
-  stats_.best_postorder_peak = postorder.peak;
-  stats_.planned_io_volume = io_volume;
-  stats_.plan_seconds = timer.elapsed_s();
+  stats_.planned_peak_entries = plan_->planned_peak_entries;
+  stats_.in_core_optimum = plan_->in_core_optimum;
+  stats_.best_postorder_peak = plan_->best_postorder_peak;
+  stats_.planned_io_volume = plan_->planned_io_volume;
+  stats_.plan_seconds = plan_->plan_seconds;
+  return *this;
+}
+
+// ---------------------------------------------------------------------------
+// Shared symbolic state
+// ---------------------------------------------------------------------------
+
+SolverSymbolic Solver::symbolic() const {
+  require_phase(Phase::kPlanned, "symbolic", "plan()");
+  return SolverSymbolic{analysis_, plan_};
+}
+
+Solver& Solver::adopt(SolverSymbolic symbolic) {
+  TM_CHECK(symbolic.analysis != nullptr && symbolic.plan != nullptr,
+           "Solver::adopt: symbolic state must carry both an analysis and a "
+           "plan (export it from a planned solver via symbolic())");
+  analysis_ = std::move(symbolic.analysis);
+  plan_ = std::move(symbolic.plan);
+  postorder_cache_.reset();
+  liu_cache_.reset();
+  minmem_cache_.reset();
+  factor_ = CholeskyFactor{};
+  phase_ = Phase::kPlanned;
+
+  // Rebuild the analyze/plan reporting fields from the adopted snapshots;
+  // keep the cumulative service counters (factorizations + the atomic
+  // solve counters) so a pooled solver accumulates lifetime totals.
+  const int factorizations = stats_.factorizations;
+  stats_ = SolverStats{};
+  stats_.factorizations = factorizations;
+  stats_.n = analysis_->pattern.cols();
+  stats_.pattern_nnz = analysis_->pattern.nnz();
+  stats_.factor_nnz = analysis_->factor_nnz;
+  stats_.tree_nodes = analysis_->assembly.tree.size();
+  stats_.ordering = analysis_->ordering_name;
+  stats_.analyze_seconds = analysis_->analyze_seconds;
+  stats_.strategy = plan_->strategy;
+  stats_.memory_budget = plan_->budget;
+  stats_.planned_peak_entries = plan_->planned_peak_entries;
+  stats_.in_core_optimum = plan_->in_core_optimum;
+  stats_.best_postorder_peak = plan_->best_postorder_peak;
+  stats_.planned_io_volume = plan_->planned_io_volume;
+  stats_.plan_seconds = plan_->plan_seconds;
   return *this;
 }
 
@@ -324,8 +384,8 @@ Solver& Solver::factorize(const SymmetricMatrix& matrix) {
 Solver& Solver::factorize(const SymmetricMatrix& matrix,
                           const FactorizeOptions& options) {
   require_phase(Phase::kPlanned, "factorize", "plan()");
-  TM_CHECK(matrix.pattern().col_ptr() == pattern_.col_ptr() &&
-               matrix.pattern().row_idx() == pattern_.row_idx(),
+  TM_CHECK(matrix.pattern().col_ptr() == analysis_->pattern.col_ptr() &&
+               matrix.pattern().row_idx() == analysis_->pattern.row_idx(),
            "Solver::factorize: matrix pattern differs from the analyzed "
            "pattern");
   return factorize_permuted(permute_values(matrix.values()), options);
@@ -338,10 +398,10 @@ Solver& Solver::factorize(std::vector<double> values) {
 Solver& Solver::factorize(std::vector<double> values,
                           const FactorizeOptions& options) {
   require_phase(Phase::kPlanned, "factorize", "plan()");
-  TM_CHECK(values.size() == static_cast<std::size_t>(pattern_.nnz()),
+  TM_CHECK(values.size() == static_cast<std::size_t>(analysis_->pattern.nnz()),
            "Solver::factorize: " << values.size()
                                  << " values for a pattern with "
-                                 << pattern_.nnz() << " entries");
+                                 << analysis_->pattern.nnz() << " entries");
   return factorize_permuted(permute_values(values), options);
 }
 
@@ -350,11 +410,13 @@ SymmetricMatrix Solver::permute_values(
   // One linear gather over the analyze()-time map replaces a full
   // symbolic permutation per factorize; the SymmetricMatrix constructor
   // still validates value symmetry on the permuted system.
-  std::vector<double> permuted_values(permuted_value_map_.size());
-  for (std::size_t o = 0; o < permuted_value_map_.size(); ++o) {
-    permuted_values[o] = values[permuted_value_map_[o]];
+  const std::vector<std::size_t>& map = analysis_->permuted_value_map;
+  std::vector<double> permuted_values(map.size());
+  for (std::size_t o = 0; o < map.size(); ++o) {
+    permuted_values[o] = values[map[o]];
   }
-  return SymmetricMatrix(permuted_pattern_, std::move(permuted_values));
+  return SymmetricMatrix(analysis_->permuted_pattern,
+                         std::move(permuted_values));
 }
 
 Solver& Solver::factorize_permuted(const SymmetricMatrix& permuted,
@@ -367,10 +429,10 @@ Solver& Solver::factorize_permuted(const SymmetricMatrix& permuted,
 
   FactorizeEngine engine = options.engine;
   if (engine == FactorizeEngine::kAuto) {
-    engine = (!out_of_core_ && workers > 1) ? FactorizeEngine::kParallel
-                                            : FactorizeEngine::kSerial;
+    engine = (!plan_->out_of_core && workers > 1) ? FactorizeEngine::kParallel
+                                                  : FactorizeEngine::kSerial;
   }
-  TM_CHECK(engine == FactorizeEngine::kSerial || !out_of_core_,
+  TM_CHECK(engine == FactorizeEngine::kSerial || !plan_->out_of_core,
            "Solver::factorize: the parallel engine cannot execute an "
            "out-of-core plan (spills are inherently serial here); use "
            "FactorizeEngine::kSerial or raise the memory budget");
@@ -385,11 +447,11 @@ Solver& Solver::factorize_permuted(const SymmetricMatrix& permuted,
     // facade stays insulated from the environment (options flow only
     // through SolverOptions / solver_options_from_env).
     const ParallelFactorOptions parallel{.workers = workers,
-                                         .memory_budget = planned_budget_,
+                                         .memory_budget = plan_->budget,
                                          .priority = options.priority,
                                          .kernel = options.kernel};
     ParallelFactorResult run =
-        factor_parallel(permuted, assembly_, parallel);
+        factor_parallel(permuted, analysis_->assembly, parallel);
     if (run.feasible) {
       factor_ = std::move(run.factor);
       phase_ = Phase::kFactorized;
@@ -411,7 +473,7 @@ Solver& Solver::factorize_permuted(const SymmetricMatrix& permuted,
     if (!options.allow_serial_fallback) {
       std::ostringstream message;
       message << "Solver::factorize: parallel schedule stalled under budget "
-              << planned_budget_ << " with " << workers
+              << plan_->budget << " with " << workers
               << " workers (greedy admission deadlock)";
       throw SolverStallError(message.str());
     }
@@ -420,9 +482,9 @@ Solver& Solver::factorize_permuted(const SymmetricMatrix& permuted,
 
   Weight measured_peak = 0;
   long long flops = 0;
-  if (out_of_core_) {
+  if (plan_->out_of_core) {
     OutOfCoreRunResult run = multifrontal_cholesky_out_of_core(
-        permuted, assembly_, io_schedule_, planned_budget_);
+        permuted, analysis_->assembly, plan_->io_schedule, plan_->budget);
     measured_peak = run.peak_live_entries;
     // The out-of-core engine does not count flops; the planned schedule
     // executes the same eliminations, so reuse the serial convention via
@@ -431,7 +493,7 @@ Solver& Solver::factorize_permuted(const SymmetricMatrix& permuted,
     engine_name = "out-of-core";
   } else {
     MultifrontalResult run = multifrontal_cholesky(
-        permuted, assembly_, bottom_up_order_, options.kernel);
+        permuted, analysis_->assembly, plan_->bottom_up_order, options.kernel);
     measured_peak = run.peak_live_entries;
     flops = run.flops;
     factor_ = std::move(run.factor);
@@ -456,24 +518,29 @@ Solver& Solver::factorize_permuted(const SymmetricMatrix& permuted,
 
 std::vector<double> Solver::solve(std::vector<double> rhs) const {
   require_phase(Phase::kFactorized, "solve", "factorize()");
-  const std::size_t n = static_cast<std::size_t>(pattern_.cols());
+  const std::size_t n = static_cast<std::size_t>(analysis_->pattern.cols());
   TM_CHECK(rhs.size() == n, "Solver::solve: rhs has " << rhs.size()
                                                       << " entries, expected "
                                                       << n);
   Timer timer;
+  const std::vector<Index>& perm = analysis_->perm;
   // Solve P A Pᵀ y = P b, then undo the permutation: x = Pᵀ y.
   std::vector<double> permuted_rhs(n);
   for (std::size_t k = 0; k < n; ++k) {
-    permuted_rhs[k] = rhs[static_cast<std::size_t>(perm_[k])];
+    permuted_rhs[k] = rhs[static_cast<std::size_t>(perm[k])];
   }
   const std::vector<double> y =
       solve_with_factor(factor_, std::move(permuted_rhs));
   std::vector<double>& x = rhs;  // reuse the buffer
   for (std::size_t k = 0; k < n; ++k) {
-    x[static_cast<std::size_t>(perm_[k])] = y[k];
+    x[static_cast<std::size_t>(perm[k])] = y[k];
   }
-  stats_.solve_seconds += timer.elapsed_s();
-  ++stats_.rhs_solved;
+  // Relaxed is enough: the counters are cumulative tallies read through
+  // stats() snapshots, not synchronization edges.
+  solve_counters_.nanos.fetch_add(
+      static_cast<long long>(timer.elapsed_s() * 1e9),
+      std::memory_order_relaxed);
+  solve_counters_.rhs.fetch_add(1, std::memory_order_relaxed);
   return x;
 }
 
@@ -492,24 +559,34 @@ std::vector<std::vector<double>> Solver::solve(
 // Introspection
 // ---------------------------------------------------------------------------
 
+SolverStats Solver::stats() const {
+  SolverStats snapshot = stats_;
+  snapshot.rhs_solved = solve_counters_.rhs.load(std::memory_order_relaxed);
+  snapshot.solve_seconds =
+      static_cast<double>(
+          solve_counters_.nanos.load(std::memory_order_relaxed)) *
+      1e-9;
+  return snapshot;
+}
+
 const std::vector<Index>& Solver::permutation() const {
   require_phase(Phase::kAnalyzed, "permutation", "analyze()");
-  return perm_;
+  return analysis_->perm;
 }
 
 const AssemblyTree& Solver::assembly() const {
   require_phase(Phase::kAnalyzed, "assembly", "analyze()");
-  return assembly_;
+  return analysis_->assembly;
 }
 
 const Traversal& Solver::planned_traversal() const {
   require_phase(Phase::kPlanned, "planned_traversal", "plan()");
-  return bottom_up_order_;
+  return plan_->bottom_up_order;
 }
 
 const IoSchedule& Solver::planned_io_schedule() const {
   require_phase(Phase::kPlanned, "planned_io_schedule", "plan()");
-  return io_schedule_;
+  return plan_->io_schedule;
 }
 
 const CholeskyFactor& Solver::factor() const {

@@ -26,6 +26,17 @@
 // fresh end-to-end run: the engine's factor is schedule-exact, so cached
 // symbolic state cannot change a single bit of the numbers.
 //
+// The analyze and plan products are *immutable once built* and live
+// behind shared_ptr<const> handles (SolverSymbolic): a planned solver can
+// export its symbolic state and any number of other Solver instances —
+// other tenants of a service — can adopt() it, sharing one copy of the
+// ordering, assembly tree and traversal across threads with no
+// duplication and no synchronization. That handle is what the
+// service layer (solver/symbolic_cache.hpp, solver/solver_pool.hpp)
+// caches per sparsity pattern. solve() is const AND thread-safe: many
+// threads may solve against one factorized Solver concurrently (the
+// cumulative solve counters are atomic).
+//
 // Configuration flows through one aggregate (SolverOptions, one member
 // per phase) with every TREEMEM_* environment override applied by
 // solver_options_from_env() through the strictly-parsed support/env.hpp
@@ -33,6 +44,8 @@
 // treemem.hpp for the paper-reproduction benches.
 #pragma once
 
+#include <atomic>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -195,6 +208,60 @@ struct SolverStats {
   double solve_seconds = 0.0;
 };
 
+/// Immutable product of analyze(): the ordering, the permuted pattern, the
+/// amalgamated assembly tree and the value gather map — everything the
+/// numeric phases read — plus the reporting fields describing how (and
+/// how fast) it was built. Built once, then only ever read: safe to share
+/// across Solver instances and threads via shared_ptr<const>.
+struct SolverAnalysis {
+  AnalyzeOptions options;          ///< what built it
+  SparsePattern pattern;           ///< analyzed pattern, original ordering
+  std::vector<Index> perm;         ///< elimination order (original indices)
+  SparsePattern permuted_pattern;  ///< P A Pᵀ — what assembly was built on
+  AssemblyTree assembly;
+  /// Gather map for repeated factorizations: permuted value at offset o is
+  /// the original value at permuted_value_map[o], so factorize() permutes
+  /// values with one linear pass instead of a symbolic permutation per
+  /// value set.
+  std::vector<std::size_t> permuted_value_map;
+
+  // Reporting snapshot (the analyze-phase SolverStats fields).
+  std::int64_t factor_nnz = 0;
+  std::string ordering_name;
+  double analyze_seconds = 0.0;
+};
+
+/// Immutable product of plan(): the bottom-up traversal (and, for
+/// out-of-core plans, the eviction schedule) plus the reporting fields.
+/// Same sharing contract as SolverAnalysis.
+struct SolverPlan {
+  PlanOptions options;             ///< what built it
+  Traversal bottom_up_order;
+  IoSchedule io_schedule;          ///< out-tree order + writes (ooc plans)
+  bool out_of_core = false;
+  /// The budget factorize() runs under — a plan product, kept separate
+  /// from the reporting-only SolverStats copy.
+  Weight budget = kInfiniteWeight;
+
+  // Reporting snapshot (the plan-phase SolverStats fields).
+  std::string strategy;
+  Weight planned_peak_entries = 0;
+  Weight in_core_optimum = 0;
+  Weight best_postorder_peak = 0;
+  Weight planned_io_volume = 0;
+  double plan_seconds = 0.0;
+};
+
+/// The shareable symbolic state of a planned Solver: one analysis handle +
+/// one plan handle. This is the unit the SymbolicCache stores per sparsity
+/// pattern and any number of tenant Solvers adopt().
+struct SolverSymbolic {
+  std::shared_ptr<const SolverAnalysis> analysis;
+  std::shared_ptr<const SolverPlan> plan;
+
+  explicit operator bool() const { return analysis != nullptr && plan != nullptr; }
+};
+
 class Solver {
  public:
   /// Phase defaults = `options`; per-phase overloads override per call.
@@ -219,6 +286,20 @@ class Solver {
   Solver& plan();
   Solver& plan(const PlanOptions& options);
 
+  // -- Shared symbolic state (the service layer's handle) -------------------
+  /// The immutable analysis+plan backing this solver. Valid after plan().
+  /// Adopting solvers alias (not copy) the state.
+  SolverSymbolic symbolic() const;
+  /// Installs shared symbolic state built by another Solver (typically via
+  /// SymbolicCache), jumping straight to the planned phase: factorize()
+  /// may be called immediately, and the result is bit-identical to a cold
+  /// analyze+plan+factorize run with the same options. Invalidates any
+  /// previous factor and resets the analyze/plan reporting fields to the
+  /// adopted snapshots. Unlike analyze(), the cumulative service counters
+  /// (factorizations, rhs_solved, solve_seconds) are preserved — a pooled
+  /// solver keeps its lifetime totals as it serves different patterns.
+  Solver& adopt(SolverSymbolic symbolic);
+
   // -- Phase 3: numeric factorization ---------------------------------------
   /// Factors `matrix` (same pattern as analyze(); original, unpermuted
   /// ordering — the facade permutes internally). Requires plan(). May be
@@ -236,9 +317,12 @@ class Solver {
 
   // -- Phase 4: triangular solves -------------------------------------------
   /// Solves A x = b in the *original* ordering (permutation applied and
-  /// undone internally). Requires factorize().
+  /// undone internally). Requires factorize(). Thread-safe: concurrent
+  /// solves against one factorized Solver are supported (the factor is
+  /// read-only and the cumulative counters are atomic).
   std::vector<double> solve(std::vector<double> rhs) const;
   /// Multi-RHS: one forward/backward sweep per column, columns independent.
+  /// Counts one rhs_solved per column, not per call.
   std::vector<std::vector<double>> solve(
       const std::vector<std::vector<double>>& rhs) const;
 
@@ -247,7 +331,9 @@ class Solver {
   bool planned() const { return phase_ >= Phase::kPlanned; }
   bool factorized() const { return phase_ == Phase::kFactorized; }
 
-  const SolverStats& stats() const { return stats_; }
+  /// Snapshot of the run statistics. Returned by value so concurrent
+  /// solve() counter updates can stay race-free.
+  SolverStats stats() const;
   const SolverOptions& options() const { return options_; }
 
   /// The fill-reducing permutation (perm[k] = original column eliminated
@@ -272,22 +358,45 @@ class Solver {
   Solver& factorize_permuted(const SymmetricMatrix& permuted,
                              const FactorizeOptions& options);
 
+  /// Cumulative solve accounting. Atomic because solve() is const and may
+  /// run concurrently on a shared Solver; copy/move load the counters so
+  /// Solver keeps value semantics (moving a solver mid-solve is already
+  /// outside the thread-safety contract).
+  struct SolveCounters {
+    std::atomic<int> rhs{0};
+    std::atomic<long long> nanos{0};
+
+    SolveCounters() = default;
+    SolveCounters(const SolveCounters& other)
+        : rhs(other.rhs.load()), nanos(other.nanos.load()) {}
+    SolveCounters(SolveCounters&& other) noexcept
+        : rhs(other.rhs.load()), nanos(other.nanos.load()) {}
+    SolveCounters& operator=(const SolveCounters& other) {
+      rhs = other.rhs.load();
+      nanos = other.nanos.load();
+      return *this;
+    }
+    SolveCounters& operator=(SolveCounters&& other) noexcept {
+      rhs = other.rhs.load();
+      nanos = other.nanos.load();
+      return *this;
+    }
+    void reset() {
+      rhs = 0;
+      nanos = 0;
+    }
+  };
+
   SolverOptions options_;
   Phase phase_ = Phase::kCreated;
 
-  // analyze() products.
-  SparsePattern pattern_;          ///< analyzed pattern, original ordering
-  std::vector<Index> perm_;        ///< elimination order (original indices)
-  SparsePattern permuted_pattern_; ///< P A Pᵀ — what assembly_ was built on
-  AssemblyTree assembly_;
-  /// Gather map for repeated factorizations: permuted value at offset o is
-  /// the original value at permuted_value_map_[o]. Built once in analyze()
-  /// so factorize() permutes values with one linear pass instead of
-  /// redoing the symbolic permutation per value set.
-  std::vector<std::size_t> permuted_value_map_;
+  // The shared immutable phase products (see SolverAnalysis/SolverPlan).
+  std::shared_ptr<const SolverAnalysis> analysis_;
+  std::shared_ptr<const SolverPlan> plan_;
 
   // Traversal results depend only on the analyzed tree; memoized so
   // re-planning (the bench's budget sweeps) does not redo the searches.
+  // Per-solver (not part of the shared state): only plan() touches them.
   const TraversalResult& cached_postorder() const;
   const TraversalResult& cached_liu() const;
   const MinMemResult& cached_minmem() const;
@@ -295,20 +404,11 @@ class Solver {
   mutable std::optional<TraversalResult> liu_cache_;
   mutable std::optional<MinMemResult> minmem_cache_;
 
-  // plan() products.
-  Traversal bottom_up_order_;
-  IoSchedule io_schedule_;         ///< out-tree order + writes (ooc plans)
-  bool out_of_core_ = false;
-  /// The budget factorize() runs under — a plan product, kept separate
-  /// from the reporting-only SolverStats copy.
-  Weight planned_budget_ = kInfiniteWeight;
-
   // factorize() products.
   CholeskyFactor factor_;
 
-  // mutable: solve() is logically const but accounts its wall time and
-  // RHS count like every other phase.
-  mutable SolverStats stats_;
+  SolverStats stats_;
+  mutable SolveCounters solve_counters_;
 };
 
 }  // namespace treemem

@@ -1,0 +1,179 @@
+#include "solver/solver_pool.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "support/parallel_for.hpp"
+#include "support/timer.hpp"
+
+namespace treemem {
+
+SolverStats aggregate_solver_stats(const std::vector<SolverStats>& stats) {
+  SolverStats total;
+  for (const SolverStats& s : stats) {
+    total.analyze_seconds += s.analyze_seconds;
+    total.plan_seconds += s.plan_seconds;
+    total.factorize_seconds += s.factorize_seconds;
+    total.solve_seconds += s.solve_seconds;
+    total.factorizations += s.factorizations;
+    total.rhs_solved += s.rhs_solved;
+    total.flops += s.flops;
+    total.measured_peak_entries =
+        std::max(total.measured_peak_entries, s.measured_peak_entries);
+    total.modeled_peak_entries =
+        std::max(total.modeled_peak_entries, s.modeled_peak_entries);
+  }
+  return total;
+}
+
+SolverPool::SolverPool(SolverPoolOptions options)
+    : options_(std::move(options)),
+      cache_(SymbolicCacheOptions{options_.solver.analyze,
+                                  options_.solver.plan}),
+      accountant_(options_.memory_budget) {
+  TM_CHECK(options_.workers >= 0,
+           "SolverPool: workers must be >= 0 (0 = default)");
+  TM_CHECK(options_.memory_budget > 0,
+           "SolverPool: memory budget must be positive");
+  const int workers = options_.workers > 0
+                          ? options_.workers
+                          : static_cast<int>(default_thread_count());
+  worker_stats_.resize(static_cast<std::size_t>(workers));
+  solvers_.reserve(static_cast<std::size_t>(workers));
+  threads_.reserve(static_cast<std::size_t>(workers));
+  for (int id = 0; id < workers; ++id) {
+    solvers_.push_back(std::make_unique<Solver>(options_.solver));
+  }
+  for (int id = 0; id < workers; ++id) {
+    threads_.emplace_back([this, id] { worker_loop(id); });
+  }
+}
+
+SolverPool::~SolverPool() {
+  {
+    std::lock_guard<std::mutex> lock(queue_mutex_);
+    stopping_ = true;
+  }
+  queue_cv_.notify_all();
+  for (std::thread& thread : threads_) {
+    thread.join();
+  }
+}
+
+std::future<SolveOutcome> SolverPool::submit(SolveRequest request) {
+  Job job;
+  job.request = std::move(request);
+  std::future<SolveOutcome> future = job.promise.get_future();
+  {
+    std::lock_guard<std::mutex> lock(queue_mutex_);
+    TM_CHECK(!stopping_, "SolverPool::submit: pool is shutting down");
+    queue_.push_back(std::move(job));
+  }
+  queue_cv_.notify_one();
+  return future;
+}
+
+SolveOutcome SolverPool::solve(SolveRequest request) {
+  return submit(std::move(request)).get();
+}
+
+void SolverPool::worker_loop(int id) {
+  Solver& solver = *solvers_[static_cast<std::size_t>(id)];
+  for (;;) {
+    Job job;
+    {
+      std::unique_lock<std::mutex> lock(queue_mutex_);
+      queue_cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        return;  // stopping, and every queued job has been drained
+      }
+      job = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    try {
+      SolveOutcome outcome = run_job(solver, job.request);
+      {
+        std::lock_guard<std::mutex> lock(stats_mutex_);
+        worker_stats_[static_cast<std::size_t>(id)] = solver.stats();
+      }
+      job.promise.set_value(std::move(outcome));
+    } catch (...) {
+      {
+        std::lock_guard<std::mutex> lock(stats_mutex_);
+        worker_stats_[static_cast<std::size_t>(id)] = solver.stats();
+      }
+      job.promise.set_exception(std::current_exception());
+    }
+  }
+}
+
+Weight SolverPool::admission_charge(Weight planned_peak) const {
+  // Clamp to the budget so one oversized job runs alone (serialized by the
+  // gate) instead of waiting forever for room that can never exist.
+  return std::min(planned_peak, options_.memory_budget);
+}
+
+SolveOutcome SolverPool::run_job(Solver& solver, SolveRequest& request) {
+  Timer timer;
+  SolveOutcome outcome;
+
+  const SparsePattern& pattern = request.matrix.pattern();
+  if (options_.use_cache) {
+    SymbolicCache::LookupResult looked = cache_.lookup(pattern);
+    outcome.cache_hit = looked.hit;
+    solver.adopt(std::move(looked.symbolic));
+  } else {
+    // Cold-analyze baseline: redo the full symbolic phase per request.
+    // Built in a scratch solver and adopt()ed so the worker solver's
+    // cumulative counters survive (analyze() on it would reset them).
+    Solver scratch;
+    scratch.analyze(pattern, options_.solver.analyze)
+        .plan(options_.solver.plan);
+    solver.adopt(scratch.symbolic());
+  }
+
+  // Request-level parallelism is the pool's: demote kAuto to one serial
+  // worker per job (see the header).
+  FactorizeOptions factorize = options_.solver.factorize;
+  if (factorize.engine == FactorizeEngine::kAuto) {
+    factorize.engine = FactorizeEngine::kSerial;
+    factorize.workers = 1;
+  }
+
+  const Weight charge = admission_charge(solver.stats().planned_peak_entries);
+  {
+    std::unique_lock<std::mutex> lock(memory_mutex_);
+    memory_cv_.wait(lock, [&] { return accountant_.try_acquire(charge); });
+  }
+  // Releases take the mutex so a waiter cannot miss the wakeup between
+  // its failed predicate check and blocking.
+  const auto release = [&] {
+    {
+      std::lock_guard<std::mutex> lock(memory_mutex_);
+      accountant_.adjust(-charge);
+    }
+    memory_cv_.notify_all();
+  };
+  try {
+    solver.factorize(request.matrix, factorize);
+    outcome.solutions = solver.solve(request.rhs);
+  } catch (...) {
+    release();
+    throw;
+  }
+  release();
+
+  outcome.seconds = timer.elapsed_s();
+  return outcome;
+}
+
+std::vector<SolverStats> SolverPool::solver_stats() const {
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  return worker_stats_;
+}
+
+SolverStats SolverPool::aggregated_stats() const {
+  return aggregate_solver_stats(solver_stats());
+}
+
+}  // namespace treemem

@@ -1,0 +1,101 @@
+#include "solver/symbolic_cache.hpp"
+
+#include <utility>
+
+namespace treemem {
+
+namespace {
+
+inline void fnv_mix(std::uint64_t& h, std::uint64_t value) {
+  // FNV-1a over the value's 8 bytes (little-endian order is irrelevant to
+  // stability here: we always feed native integers the same way).
+  for (int shift = 0; shift < 64; shift += 8) {
+    h ^= (value >> shift) & 0xffULL;
+    h *= 0x100000001b3ULL;
+  }
+}
+
+bool same_pattern(const SparsePattern& a, const SparsePattern& b) {
+  return a.rows() == b.rows() && a.cols() == b.cols() &&
+         a.col_ptr() == b.col_ptr() && a.row_idx() == b.row_idx();
+}
+
+}  // namespace
+
+std::uint64_t pattern_fingerprint(const SparsePattern& pattern) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;  // FNV offset basis
+  fnv_mix(h, static_cast<std::uint64_t>(pattern.rows()));
+  fnv_mix(h, static_cast<std::uint64_t>(pattern.cols()));
+  for (const auto p : pattern.col_ptr()) {
+    fnv_mix(h, static_cast<std::uint64_t>(p));
+  }
+  for (const auto r : pattern.row_idx()) {
+    fnv_mix(h, static_cast<std::uint64_t>(r));
+  }
+  return h;
+}
+
+SymbolicCache::LookupResult SymbolicCache::lookup(
+    const SparsePattern& pattern) {
+  const std::uint64_t key = pattern_fingerprint(pattern);
+
+  // Find-or-create the entry under the map lock (cheap: no symbolic work
+  // happens here, so distinct patterns never wait on each other's builds).
+  std::shared_ptr<Entry> entry;
+  bool created = false;
+  {
+    std::lock_guard<std::mutex> lock(map_mutex_);
+    std::vector<std::shared_ptr<Entry>>& bucket = entries_[key];
+    for (const std::shared_ptr<Entry>& candidate : bucket) {
+      if (same_pattern(candidate->pattern, pattern)) {
+        entry = candidate;
+        break;
+      }
+    }
+    if (!entry) {
+      entry = std::make_shared<Entry>();
+      entry->pattern = pattern;
+      bucket.push_back(entry);
+      ++entry_count_;
+      created = true;
+    }
+  }
+  (created ? misses_ : hits_).fetch_add(1, std::memory_order_relaxed);
+
+  // Build (or wait for the builder) under the entry's own mutex. A failed
+  // build leaves `symbolic` empty, so the next lookup simply retries —
+  // the cache is never poisoned by a throwing analyze/plan.
+  std::lock_guard<std::mutex> lock(entry->build_mutex);
+  if (!entry->symbolic) {
+    Solver builder;
+    builder.analyze(entry->pattern, options_.analyze).plan(options_.plan);
+    entry->symbolic = builder.symbolic();
+  }
+  return LookupResult{entry->symbolic, !created};
+}
+
+Solver SymbolicCache::acquire(const SparsePattern& pattern,
+                              const FactorizeOptions& factorize) {
+  Solver solver(SolverOptions{options_.analyze, options_.plan, factorize});
+  solver.adopt(lookup(pattern).symbolic);
+  return solver;
+}
+
+SymbolicCache::Stats SymbolicCache::stats() const {
+  Stats stats;
+  stats.hits = hits_.load(std::memory_order_relaxed);
+  stats.misses = misses_.load(std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(map_mutex_);
+    stats.entries = entry_count_;
+  }
+  return stats;
+}
+
+void SymbolicCache::clear() {
+  std::lock_guard<std::mutex> lock(map_mutex_);
+  entries_.clear();
+  entry_count_ = 0;
+}
+
+}  // namespace treemem

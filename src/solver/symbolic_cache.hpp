@@ -1,0 +1,109 @@
+// SymbolicCache — analyze+plan once per sparsity pattern, share forever.
+//
+// The expensive half of a sparse direct solve is symbolic: ordering,
+// elimination tree, amalgamation, traversal planning. In a solver service
+// the same pattern arrives over and over with different numeric values
+// (time steps, Newton iterations, tenants simulating the same mesh), and
+// production codes amortize by splitting the symbolic handle from the
+// numeric one (the UMFPACK symbolic/numeric object split). SymbolicCache
+// is that amortization for the Solver facade: a concurrent map from
+// sparsity pattern to the immutable SolverSymbolic state (analysis +
+// plan), built on first sight and adopted by every later tenant.
+//
+// Keying: a 64-bit FNV-1a fingerprint over the pattern's dimensions and
+// CSC arrays selects a bucket; the bucket stores the full pattern and
+// every lookup verifies structural equality, so hash collisions can never
+// alias two patterns (they only cost a scan of the few colliding
+// entries). Distinct patterns build concurrently — only the map itself is
+// briefly locked — while two threads racing on the *same* new pattern
+// serialize on a per-entry mutex and share one build.
+//
+// Hits are exact, not approximate: adopting cached symbolic state yields
+// factors bit-identical to a cold analyze+plan+factorize run with the
+// same options, because the engine's factor depends only on the (shared)
+// plan and the values.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "solver/solver.hpp"
+#include "sparse/pattern.hpp"
+
+namespace treemem {
+
+/// 64-bit FNV-1a fingerprint of the pattern's structure (dimensions +
+/// col_ptr + row_idx). Stable across runs and platforms; used by the
+/// cache as the bucket key (equality is always re-verified on the full
+/// pattern).
+std::uint64_t pattern_fingerprint(const SparsePattern& pattern);
+
+struct SymbolicCacheOptions {
+  /// The analyze/plan options every cached build uses. One cache = one
+  /// (ordering, amalgamation, traversal policy, budget) configuration;
+  /// run several caches for several configurations.
+  AnalyzeOptions analyze;
+  PlanOptions plan;
+};
+
+class SymbolicCache {
+ public:
+  SymbolicCache() = default;
+  explicit SymbolicCache(SymbolicCacheOptions options)
+      : options_(std::move(options)) {}
+
+  SymbolicCache(const SymbolicCache&) = delete;
+  SymbolicCache& operator=(const SymbolicCache&) = delete;
+
+  struct LookupResult {
+    SolverSymbolic symbolic;
+    bool hit = false;  ///< true when the pattern had been built before
+  };
+
+  /// The symbolic state for `pattern`: returned from the cache when the
+  /// pattern was seen before, analyzed+planned (and cached) otherwise.
+  /// Thread-safe; concurrent lookups of the same new pattern build once.
+  /// Propagates the build's exception (e.g. a non-symmetric pattern)
+  /// without poisoning the cache.
+  LookupResult lookup(const SparsePattern& pattern);
+
+  /// Convenience: a Solver already in the planned phase for `pattern`,
+  /// configured with the cache's analyze/plan options plus `factorize` —
+  /// call factorize()/solve() on it directly.
+  Solver acquire(const SparsePattern& pattern,
+                 const FactorizeOptions& factorize = {});
+
+  struct Stats {
+    long long hits = 0;
+    long long misses = 0;
+    std::size_t entries = 0;  ///< distinct patterns currently cached
+  };
+  Stats stats() const;
+
+  const SymbolicCacheOptions& options() const { return options_; }
+
+  /// Drops every entry (in-flight LookupResults keep their shared state
+  /// alive; only the cache forgets).
+  void clear();
+
+ private:
+  struct Entry {
+    SparsePattern pattern;    ///< full key — collision-proof equality
+    std::mutex build_mutex;   ///< serializes building (and reading) symbolic
+    SolverSymbolic symbolic;  ///< empty until the first build succeeds
+  };
+
+  SymbolicCacheOptions options_;
+  mutable std::mutex map_mutex_;
+  std::unordered_map<std::uint64_t, std::vector<std::shared_ptr<Entry>>>
+      entries_;
+  std::size_t entry_count_ = 0;
+  std::atomic<long long> hits_{0};
+  std::atomic<long long> misses_{0};
+};
+
+}  // namespace treemem

@@ -1,0 +1,68 @@
+// Sparse symmetric matrices *with values* — the numeric companion of the
+// pattern substrate in sparse/pattern.hpp.
+//
+// SymmetricMatrix lived inside the multifrontal engine for the first
+// numeric PRs; it moved down into sparse/ so the I/O layer (mm_io) can
+// return real-valued matrices without the sparse module depending on the
+// factorization engine. multifrontal/numeric.hpp re-exports everything
+// here, so existing includes keep working.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sparse/pattern.hpp"
+
+namespace treemem {
+
+/// Visits every stored entry of `pattern` in CSC order as
+/// fn(row, col, value_offset) — the one traversal all value-array builders
+/// and validators share.
+template <typename Fn>
+void for_each_entry(const SparsePattern& pattern, Fn&& fn) {
+  std::size_t offset = 0;
+  for (Index j = 0; j < pattern.cols(); ++j) {
+    for (const Index r : pattern.column(j)) {
+      fn(r, j, offset++);
+    }
+  }
+}
+
+/// A symmetric matrix with values: `pattern` holds the full symmetric
+/// pattern (both triangles + diagonal); `value_of(r, c)` is defined for
+/// every stored entry, with value(r,c) == value(c,r).
+class SymmetricMatrix {
+ public:
+  SymmetricMatrix() = default;
+
+  /// `values` aligned with pattern.row_idx(). The symmetry of the values is
+  /// validated on construction.
+  SymmetricMatrix(SparsePattern pattern, std::vector<double> values);
+
+  const SparsePattern& pattern() const { return pattern_; }
+  Index size() const { return pattern_.cols(); }
+
+  /// Raw values, aligned with pattern().row_idx().
+  const std::vector<double>& values() const { return values_; }
+
+  /// Value at (row, col); zero if the entry is not stored.
+  double value_of(Index row, Index col) const;
+
+  /// A·x over the stored entries — the residual metric's matvec.
+  std::vector<double> multiply(const std::vector<double>& x) const;
+
+  /// P A Pᵀ with the same convention as permute_symmetric.
+  SymmetricMatrix permuted(const std::vector<Index>& perm) const;
+
+ private:
+  SparsePattern pattern_;
+  std::vector<double> values_;
+};
+
+/// A strictly diagonally dominant (hence SPD) matrix on the given symmetric
+/// pattern: off-diagonals drawn in [-1, -1/4] ∪ [1/4, 1], diagonal set to
+/// 1 + Σ|row off-diagonals|. Deterministic in `seed`.
+SymmetricMatrix make_spd_matrix(const SparsePattern& pattern,
+                                std::uint64_t seed);
+
+}  // namespace treemem

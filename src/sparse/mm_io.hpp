@@ -1,25 +1,76 @@
-// Matrix Market I/O for sparse patterns.
+// Matrix Market I/O for sparse patterns and real-valued matrices.
 //
 // The paper's data set is the University of Florida (SuiteSparse) matrix
-// collection, distributed in Matrix Market coordinate format. The reader
-// accepts real / integer / complex / pattern fields (values are discarded —
-// only the structure matters here) and expands symmetric / skew-symmetric /
-// hermitian storage. The writer emits `pattern general` or
-// `pattern symmetric` coordinate files, so a corpus can be exported and
-// re-read.
+// collection, distributed in Matrix Market coordinate format. Two readers
+// share one parser:
+//
+//   * read_matrix_market — structure only (what the traversal algorithms
+//     consume): accepts real / integer / complex / pattern fields and
+//     expands symmetric / skew-symmetric / hermitian storage.
+//   * read_matrix_market_data / read_matrix_market_matrix — structure AND
+//     numeric values, so the solve pipeline factorizes the file's actual
+//     matrix instead of a synthetic stand-in. Duplicate coordinate entries
+//     are summed (the Matrix Market convention for assembled FEM input),
+//     symmetric storage is expanded (skew-symmetric with negated values,
+//     hermitian/complex keeping the real part), and `read_matrix_market_matrix`
+//     pads absent diagonal entries with explicit zeros so the result is
+//     ready for Solver::analyze (which requires a full diagonal).
+//
+// The writer emits coordinate files: `pattern general`/`pattern symmetric`
+// for bare patterns, `real general`/`real symmetric` for valued matrices,
+// so a corpus (or a generated SPD system) can be exported and re-read
+// bit-exactly.
 #pragma once
 
 #include <iosfwd>
 #include <string>
+#include <vector>
 
+#include "sparse/matrix.hpp"
 #include "sparse/pattern.hpp"
 
 namespace treemem {
 
-/// Parses a Matrix Market stream. Throws treemem::Error on malformed input.
+/// Parses a Matrix Market stream, structure only (values, when present,
+/// are skipped). Throws treemem::Error on malformed input.
 SparsePattern read_matrix_market(std::istream& in);
 SparsePattern read_matrix_market_file(const std::string& path);
 SparsePattern read_matrix_market_string(const std::string& text);
+
+/// Everything a Matrix Market coordinate file says: the expanded pattern
+/// plus (for non-pattern fields) the values aligned with
+/// pattern.row_idx(). Duplicates are summed; symmetry is expanded
+/// (skew-symmetric negates the mirrored value; complex/hermitian keep the
+/// real part).
+struct MatrixMarketData {
+  Index rows = 0;
+  Index cols = 0;
+  std::string field;     ///< real | integer | complex | pattern (lower-case)
+  std::string symmetry;  ///< general | symmetric | skew-symmetric | hermitian
+  SparsePattern pattern;
+  std::vector<double> values;  ///< empty iff field == "pattern"
+
+  bool has_values() const { return !values.empty(); }
+};
+
+MatrixMarketData read_matrix_market_data(std::istream& in);
+MatrixMarketData read_matrix_market_data_file(const std::string& path);
+MatrixMarketData read_matrix_market_data_string(const std::string& text);
+
+/// The value-carrying reader of the solve pipeline: a square matrix with
+/// numeric values, returned as a SymmetricMatrix (both triangles stored,
+/// full diagonal — absent diagonal entries are padded with explicit
+/// zeros, which leaves the matrix unchanged). Throws a clean error when
+/// the field is `pattern` (no values to solve — generate synthetic ones),
+/// when the symmetry is `skew-symmetric` (no symmetric value set exists),
+/// or when a `general` file is structurally or numerically unsymmetric.
+SymmetricMatrix read_matrix_market_matrix(std::istream& in);
+SymmetricMatrix read_matrix_market_matrix_file(const std::string& path);
+SymmetricMatrix read_matrix_market_matrix_string(const std::string& text);
+
+/// The conversion behind read_matrix_market_matrix, for callers that
+/// already hold the parsed data (e.g. a CLI that probed the field first).
+SymmetricMatrix matrix_from_matrix_market(MatrixMarketData data);
 
 /// Writes the pattern in coordinate format. When `symmetric_lower` is true
 /// the pattern must be symmetric and only the lower triangle is stored.
@@ -28,5 +79,13 @@ void write_matrix_market(std::ostream& out, const SparsePattern& pattern,
 void write_matrix_market_file(const std::string& path,
                               const SparsePattern& pattern,
                               bool symmetric_lower = false);
+
+/// Writes a valued matrix as `real general` (or, with `symmetric_lower`,
+/// `real symmetric` storing the lower triangle) with round-trip precision.
+void write_matrix_market(std::ostream& out, const SymmetricMatrix& matrix,
+                         bool symmetric_lower = true);
+void write_matrix_market_file(const std::string& path,
+                              const SymmetricMatrix& matrix,
+                              bool symmetric_lower = true);
 
 }  // namespace treemem

@@ -30,6 +30,7 @@
 // Sparse-matrix substrate.
 #include "order/ordering.hpp"
 #include "sparse/generators.hpp"
+#include "sparse/matrix.hpp"
 #include "sparse/mm_io.hpp"
 #include "sparse/pattern.hpp"
 #include "symbolic/assembly_tree.hpp"
@@ -51,12 +52,17 @@
 
 // The phased solver facade (analyze → plan → factorize → solve) — the
 // recommended entry point; everything below it stays exported for the
-// paper-reproduction benches.
+// paper-reproduction benches. The service layer on top shares symbolic
+// state across tenants (symbolic_cache) and serves concurrent requests
+// from a worker pool (solver_pool).
 #include "solver/solver.hpp"
+#include "solver/solver_pool.hpp"
+#include "solver/symbolic_cache.hpp"
 
 // Experiment layer.
 #include "perf/corpus.hpp"
 #include "perf/profile.hpp"
+#include "perf/traffic.hpp"
 
 // Support layer: strictly-parsed TREEMEM_* environment overrides, seeded
 // PRNG, CSV/table reporting, wall-clock timing, parallel loops.
