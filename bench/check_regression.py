@@ -1,0 +1,96 @@
+#!/usr/bin/env python3
+"""Diff a bench regression report (BENCH_7.json) against the checked-in
+baseline (bench/baseline.json) and fail CI on regressions.
+
+Two classes of metric, two rules:
+
+  * deterministic (stall counts, simulated speedups, simulated peaks):
+    stall counts must not exceed the baseline — a single new stall under
+    the lookahead or reservation policy is a hard failure; simulated
+    speedups are simulator time, reproducible bit for bit, and get a 2%
+    tolerance only to absorb future benign tie-break changes;
+
+  * noisy (wall-clock service throughput): the cached/cold solves-per-sec
+    ratio may wobble with machine load, so only a drop below 80% of the
+    baseline fails.
+
+Usage: check_regression.py <report.json> <baseline.json>
+Exits 0 when clean, 1 on any regression (each printed as 'FAIL: ...').
+"""
+import json
+import sys
+
+SPEEDUP_TOLERANCE = 0.98  # deterministic, slack for tie-break changes only
+NOISY_TOLERANCE = 0.80    # wall-clock metrics: >20% drop fails
+
+def fail(messages, text):
+    messages.append("FAIL: " + text)
+
+def main():
+    if len(sys.argv) != 3:
+        sys.exit(__doc__)
+    with open(sys.argv[1]) as f:
+        report = json.load(f)
+    with open(sys.argv[2]) as f:
+        baseline = json.load(f)
+
+    failures = []
+    if report.get("schema") != baseline.get("schema"):
+        fail(failures, "schema mismatch: %r vs baseline %r"
+             % (report.get("schema"), baseline.get("schema")))
+
+    base_instances = {i["name"]: i for i in baseline.get("instances", [])}
+    seen = set()
+    for instance in report.get("instances", []):
+        name = instance["name"]
+        seen.add(name)
+        base = base_instances.get(name)
+        if base is None:
+            # New instances are informational, not regressions.
+            print("note: %s not in baseline, skipping" % name)
+            continue
+        for policy, metrics in instance["policies"].items():
+            base_metrics = base["policies"].get(policy)
+            if base_metrics is None:
+                print("note: %s/%s not in baseline, skipping" % (name, policy))
+                continue
+            if metrics["stalls"] > base_metrics["stalls"]:
+                fail(failures, "%s under %s: %d stalls (baseline %d)"
+                     % (name, policy, metrics["stalls"],
+                        base_metrics["stalls"]))
+            floor = SPEEDUP_TOLERANCE * base_metrics["speedup"]
+            if metrics["speedup"] < floor:
+                fail(failures, "%s under %s: speedup %.4f below %.4f "
+                     "(98%% of baseline %.4f)"
+                     % (name, policy, metrics["speedup"], floor,
+                        base_metrics["speedup"]))
+    missing = set(base_instances) - seen
+    if missing:
+        fail(failures, "instances missing from report: %s"
+             % ", ".join(sorted(missing)))
+
+    totals = report.get("totals", {})
+    base_totals = baseline.get("totals", {})
+    for key in ("lookahead_stalls", "reservation_stalls"):
+        if totals.get(key, 0) > base_totals.get(key, 0):
+            fail(failures, "totals.%s = %d (baseline %d)"
+                 % (key, totals.get(key, 0), base_totals.get(key, 0)))
+
+    ratio = report.get("service", {}).get("cached_over_cold", 0.0)
+    base_ratio = baseline.get("service", {}).get("cached_over_cold", 0.0)
+    if base_ratio > 0 and ratio < NOISY_TOLERANCE * base_ratio:
+        fail(failures, "service cached/cold ratio %.4f below %.4f "
+             "(80%% of baseline %.4f) — noisy metric, but this is a big drop"
+             % (ratio, NOISY_TOLERANCE * base_ratio, base_ratio))
+
+    for line in failures:
+        print(line)
+    if failures:
+        sys.exit(1)
+    print("bench regression check clean: %d instances, "
+          "lookahead/reservation stalls 0/0, cached/cold %.2f "
+          "(baseline %.2f)"
+          % (len(seen), ratio, base_ratio))
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,172 @@
+// regression_report — the machine-readable bench gate (BENCH_7.json).
+//
+// Emits one JSON report for CI to diff against the checked-in
+// bench/baseline.json (bench/check_regression.py):
+//
+//   * per-instance stall counts per admission policy on the 10-instance
+//     numeric corpus at the ROADMAP budget (1.5x the serial MinMem
+//     optimum, floored at max MemReq), swept over w in {2, 4, 8} — the
+//     greedy baseline stalls on the dense families, lookahead and
+//     reservation must stay at zero;
+//   * w = 4 simulated speedups per policy, plus the uncapped reference —
+//     deterministic (simulator time), so the checker holds them to a
+//     tight tolerance;
+//   * the solver service's cached/cold solves-per-sec ratio on a small
+//     mixed-traffic trace — wall-clock, hence noisy: the checker only
+//     flags drops past 20% of baseline.
+//
+// Unlike the other benches this report IGNORES TREEMEM_SCALE: the corpus
+// is pinned at scale 1.0 so the numbers are comparable across runs and
+// machines (the stall counts and simulated speedups are then exactly
+// reproducible). TREEMEM_OUT still picks the output directory.
+#include <iomanip>
+#include <iostream>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/minmem.hpp"
+#include "parallel/parallel_sim.hpp"
+#include "perf/corpus.hpp"
+#include "perf/traffic.hpp"
+#include "solver/solver_pool.hpp"
+#include "support/timer.hpp"
+
+namespace {
+
+using namespace treemem;
+
+std::string num(double v) {
+  std::ostringstream oss;
+  oss << std::fixed << std::setprecision(4) << v;
+  return oss.str();
+}
+
+/// Cold or cached solves/sec of the service layer on `trace`.
+double service_solves_per_sec(const ServiceTrace& trace, bool use_cache) {
+  SolverPoolOptions options;
+  options.workers = 2;
+  options.use_cache = use_cache;
+  SolverPool pool(options);
+  std::vector<SolveRequest> requests;
+  requests.reserve(trace.requests.size());
+  for (const ServiceRequest& request : trace.requests) {
+    requests.push_back(materialize_request(trace, request));
+  }
+  Timer wall;
+  long long rhs_columns = 0;
+  std::vector<std::future<SolveOutcome>> futures;
+  futures.reserve(requests.size());
+  for (SolveRequest& request : requests) {
+    futures.push_back(pool.submit(std::move(request)));
+  }
+  for (std::future<SolveOutcome>& future : futures) {
+    rhs_columns += static_cast<long long>(future.get().solutions.size());
+  }
+  const double seconds = wall.elapsed_s();
+  return seconds > 0.0 ? static_cast<double>(rhs_columns) / seconds : 0.0;
+}
+
+int run() {
+  bench::print_header(
+      "regression report — admission stalls, simulated speedups, service "
+      "throughput (BENCH_7.json)");
+
+  // Scale pinned: this report must mean the same thing on every machine.
+  const auto instances = build_numeric_instances(CorpusOptions{}, 5);
+  constexpr AdmissionPolicy kPolicies[] = {AdmissionPolicy::kGreedy,
+                                           AdmissionPolicy::kLookahead,
+                                           AdmissionPolicy::kReservation};
+  constexpr int kStallWorkers[] = {2, 4, 8};
+
+  std::ostringstream json;
+  json << "{\n";
+  json << "  \"schema\": \"treemem-bench-7\",\n";
+  json << "  \"budget_rule\": \"max(1.5*minmem_peak, max_mem_req)\",\n";
+  json << "  \"speedup_workers\": 4,\n";
+  json << "  \"instances\": [\n";
+
+  int total_stalls[3] = {0, 0, 0};
+  for (std::size_t i = 0; i < instances.size(); ++i) {
+    const NumericInstance& instance = instances[i];
+    const Tree& tree = instance.assembly.tree;
+    const MinMemResult mm = minmem_optimal(tree);
+    const Weight budget = std::max(mm.peak + mm.peak / 2, tree.max_mem_req());
+    const Traversal witness = reverse_traversal(mm.order);
+
+    ParallelOptions free_options;
+    free_options.workers = 4;
+    const auto free_run = simulate_parallel_traversal(tree, free_options);
+
+    json << "    {\n";
+    json << "      \"name\": \"" << instance.name << "\",\n";
+    json << "      \"budget\": " << budget << ",\n";
+    json << "      \"free_speedup\": " << num(free_run.speedup) << ",\n";
+    json << "      \"free_peak\": " << free_run.peak_memory << ",\n";
+    json << "      \"policies\": {\n";
+    for (int p = 0; p < 3; ++p) {
+      const AdmissionPolicy policy = kPolicies[p];
+      int stalls = 0;
+      for (const int workers : kStallWorkers) {
+        ParallelOptions options;
+        options.workers = workers;
+        options.memory_budget = budget;
+        options.admission = policy;
+        options.serial_witness = witness;
+        stalls += !simulate_parallel_traversal(tree, options).feasible;
+      }
+      total_stalls[p] += stalls;
+      ParallelOptions options;
+      options.workers = 4;
+      options.memory_budget = budget;
+      options.admission = policy;
+      options.serial_witness = witness;
+      const auto run = simulate_parallel_traversal(tree, options);
+      json << "        \"" << to_string(policy) << "\": {\"stalls\": "
+           << stalls << ", \"speedup\": "
+           << num(run.feasible ? run.speedup : 0.0) << ", \"peak\": "
+           << run.peak_memory << "}";
+      json << (p + 1 < 3 ? ",\n" : "\n");
+      std::cout << instance.name << " " << to_string(policy) << ": stalls="
+                << stalls << " w4_speedup="
+                << num(run.feasible ? run.speedup : 0.0) << "\n";
+    }
+    json << "      }\n";
+    json << "    }" << (i + 1 < instances.size() ? ",\n" : "\n");
+  }
+  json << "  ],\n";
+  json << "  \"totals\": {\"greedy_stalls\": " << total_stalls[0]
+       << ", \"lookahead_stalls\": " << total_stalls[1]
+       << ", \"reservation_stalls\": " << total_stalls[2] << "},\n";
+
+  // Service throughput: small fixed trace (independent of TREEMEM_SCALE).
+  TrafficOptions traffic;
+  traffic.patterns = 3;
+  traffic.grid_base = 12;
+  traffic.requests = 24;
+  traffic.max_rhs = 4;
+  const ServiceTrace trace = build_service_trace(traffic);
+  const double cold = service_solves_per_sec(trace, /*use_cache=*/false);
+  const double cached = service_solves_per_sec(trace, /*use_cache=*/true);
+  const double ratio = cold > 0.0 ? cached / cold : 0.0;
+  json << "  \"service\": {\"cold_solves_per_sec\": " << num(cold)
+       << ", \"cached_solves_per_sec\": " << num(cached)
+       << ", \"cached_over_cold\": " << num(ratio) << "}\n";
+  json << "}\n";
+
+  const std::string path = bench::output_dir() + "/BENCH_7.json";
+  std::ofstream out(path);
+  out << json.str();
+  out.close();
+  std::cout << "\ntotals: greedy=" << total_stalls[0] << " lookahead="
+            << total_stalls[1] << " reservation=" << total_stalls[2]
+            << " stalls; cached/cold=" << num(ratio) << "\n";
+  std::cout << "report: " << path << "\n";
+  return 0;
+}
+
+}  // namespace
+
+int main() { return run(); }

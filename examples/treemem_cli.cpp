@@ -11,6 +11,7 @@
 //   treemem_cli solve <matrix.mtx> [--order mindeg|nd|rcm|natural]
 //                     [--relax R] [--memory M]
 //                     [--traversal auto|postorder|liu|minmem]
+//                     [--admission greedy|lookahead|reservation]
 //                     [--workers W] [--kernel scalar|blocked|parallel[:nb]]
 //                     [--rhs K] [--seed S] [--synthetic] [--csv stats.csv]
 //       The full pipeline: analyze -> plan -> factorize -> solve with K
@@ -68,7 +69,7 @@ int usage() {
       << "  treemem_cli solve <matrix.mtx> [--order mindeg|nd|rcm|natural]"
          " [--relax R] [--memory M]\n"
       << "                    [--traversal auto|postorder|liu|minmem]"
-         " [--workers W]\n"
+         " [--admission greedy|lookahead|reservation] [--workers W]\n"
       << "                    [--kernel scalar|blocked|parallel[:nb]]"
          " [--rhs K] [--seed S] [--synthetic] [--csv stats.csv]\n"
       << "  treemem_cli serve <trace.txt> [solve flags] [--pool-workers W]"
@@ -132,6 +133,7 @@ struct CliOptions {
   Index relax = 4;
   std::optional<Weight> memory;
   std::string traversal_name = "auto";
+  std::string admission_name = "greedy";
   int workers = 0;
   std::string kernel_spec;
   int rhs = 1;
@@ -158,6 +160,13 @@ std::optional<TraversalPolicy> traversal_of(const std::string& name) {
   return std::nullopt;
 }
 
+std::optional<AdmissionPolicy> admission_of(const std::string& name) {
+  if (name == "greedy") return AdmissionPolicy::kGreedy;
+  if (name == "lookahead") return AdmissionPolicy::kLookahead;
+  if (name == "reservation") return AdmissionPolicy::kReservation;
+  return std::nullopt;
+}
+
 std::string seconds(double s) {
   std::ostringstream oss;
   oss << std::fixed << std::setprecision(4) << s;
@@ -167,17 +176,20 @@ std::string seconds(double s) {
 std::optional<SolverOptions> solver_options_of(const CliOptions& cli) {
   const auto ordering = ordering_of(cli.order_name);
   const auto traversal = traversal_of(cli.traversal_name);
-  if (!ordering || !traversal) {
+  const auto admission = admission_of(cli.admission_name);
+  if (!ordering || !traversal || !admission) {
     return std::nullopt;
   }
   SolverOptions options;
   options.analyze.ordering = *ordering;
   options.analyze.relax = cli.relax;
   options.plan.policy = *traversal;
+  options.plan.admission = *admission;
   if (cli.memory) {
     options.plan.memory_budget = *cli.memory;
   }
   options.factorize.workers = cli.workers;
+  options.factorize.admission = *admission;
   if (!cli.kernel_spec.empty()) {
     options.factorize.kernel =
         parse_kernel_spec(cli.kernel_spec, options.factorize.kernel);
@@ -252,7 +264,8 @@ int run_solve(const std::string& path, const CliOptions& cli) {
                  seconds(stats.plan_seconds)});
   table.add_row(
       {"factorize",
-       stats.engine + "/" + stats.kernel + " w=" +
+       stats.engine + "/" + stats.kernel +
+           (stats.admission.empty() ? "" : "/" + stats.admission) + " w=" +
            std::to_string(stats.workers) + " measured=" +
            std::to_string(stats.measured_peak_entries) + " modeled=" +
            std::to_string(stats.modeled_peak_entries) + " flops=" +
@@ -499,6 +512,8 @@ int main(int argc, char** argv) {
             parse_int_strict(argv[++i], 1, kInfiniteWeight, "--memory"));
       } else if (std::strcmp(argv[i], "--traversal") == 0 && i + 1 < argc) {
         cli.traversal_name = argv[++i];
+      } else if (std::strcmp(argv[i], "--admission") == 0 && i + 1 < argc) {
+        cli.admission_name = argv[++i];
       } else if (std::strcmp(argv[i], "--workers") == 0 && i + 1 < argc) {
         cli.workers = static_cast<int>(
             parse_int_strict(argv[++i], 0, 1024, "--workers"));

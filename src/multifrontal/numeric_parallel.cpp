@@ -59,6 +59,8 @@ ParallelFactorResult factor_parallel(const SymmetricMatrix& matrix,
   exec_options.workers = options.workers;
   exec_options.memory_budget = options.memory_budget;
   exec_options.priority = options.priority;
+  exec_options.admission = options.admission;
+  exec_options.serial_witness = options.serial_witness;
 
   const ExecutorResult run = execute_task_tree(
       assembly.tree, exec_options, durations, [&](NodeId node) {

@@ -37,6 +37,15 @@ struct ParallelFactorOptions {
   /// assembly tree's n_i/f_i weights); kInfiniteWeight disables it.
   Weight memory_budget = kInfiniteWeight;
   ParallelPriority priority = ParallelPriority::kCriticalPath;
+  /// How fronts are admitted against the budget. The greedy default can
+  /// deadlock under a tight budget; lookahead and reservation consult
+  /// `serial_witness` and never stall when the budget covers its serial
+  /// peak. The factor stays bit-identical across policies (schedule-exact
+  /// numerics — policies only reorder the schedule).
+  AdmissionPolicy admission = AdmissionPolicy::kGreedy;
+  /// Optional bottom-up witness traversal of the assembly tree for the
+  /// non-greedy policies; empty = the MinMem optimum.
+  Traversal serial_witness = {};
   /// Dense front kernel (dense/front_kernel.hpp). The default honors the
   /// TREEMEM_KERNEL environment override and otherwise runs the scalar
   /// reference. Note the env parse is strict: default-constructing this
@@ -49,8 +58,8 @@ struct ParallelFactorOptions {
 
 struct ParallelFactorResult {
   /// False iff the run could not complete under the memory budget (some
-  /// front's transient exceeds it outright, or the greedy schedule
-  /// stalled). The factor is only valid on feasible runs.
+  /// front's transient or the witness peak exceeds it outright, or the
+  /// greedy schedule stalled). The factor is only valid on feasible runs.
   bool feasible = false;
   CholeskyFactor factor;
   long long flops = 0;

@@ -47,9 +47,11 @@ ExecutorResult execute_task_tree(const Tree& tree,
   }
 
   ExecutorResult result;
-  ScheduleCore core(tree, options.priority, options.memory_budget, durations);
-  if (!core.all_tasks_fit()) {
-    return result;  // feasible = false: some transient exceeds the budget
+  ScheduleCore core(tree, options.priority, options.memory_budget, durations,
+                    options.admission, options.serial_witness);
+  if (!core.schedule_feasible()) {
+    return result;  // feasible = false: a transient or the witness peak
+                    // exceeds the budget
   }
   if (p == 0) {
     result.feasible = true;

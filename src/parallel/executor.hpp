@@ -54,6 +54,13 @@ struct ExecutorOptions {
   /// Shared memory bound; kInfiniteWeight disables the constraint.
   Weight memory_budget = kInfiniteWeight;
   ParallelPriority priority = ParallelPriority::kCriticalPath;
+  /// How ready tasks are admitted against the budget; lookahead and
+  /// reservation consult `serial_witness` (see ScheduleCore) and never
+  /// stall when the budget covers its serial peak.
+  AdmissionPolicy admission = AdmissionPolicy::kGreedy;
+  /// Optional bottom-up witness traversal for the non-greedy policies;
+  /// empty = the MinMem optimum.
+  Traversal serial_witness = {};
   /// Fallback when no TaskBody payload is supplied: synthetic busy-wait per
   /// duration unit (seconds); zero = tasks complete instantly. Real runs
   /// (factor_parallel, bench payloads) pass a TaskBody and leave this 0.

@@ -22,8 +22,9 @@ ParallelScheduleResult simulate_parallel_traversal(
   }
 
   ParallelScheduleResult result;
-  ScheduleCore core(tree, options.priority, options.memory_budget, durations);
-  if (!core.all_tasks_fit()) {
+  ScheduleCore core(tree, options.priority, options.memory_budget, durations,
+                    options.admission, options.serial_witness);
+  if (!core.schedule_feasible()) {
     return result;  // feasible = false
   }
 

@@ -33,10 +33,19 @@ struct ParallelOptions {
   /// Shared memory bound; kInfiniteWeight disables the constraint.
   Weight memory_budget = kInfiniteWeight;
   ParallelPriority priority = ParallelPriority::kCriticalPath;
+  /// How ready tasks are admitted against the budget; lookahead and
+  /// reservation consult `serial_witness` (see ScheduleCore) and never
+  /// stall when the budget covers its serial peak.
+  AdmissionPolicy admission = AdmissionPolicy::kGreedy;
+  /// Optional bottom-up witness traversal for the non-greedy policies;
+  /// empty = the MinMem optimum.
+  Traversal serial_witness = {};
 };
 
 struct ParallelScheduleResult {
-  /// False iff some task can never start under the memory bound.
+  /// False iff the schedule could not run to completion under the memory
+  /// bound: some task can never start, the non-greedy witness peak exceeds
+  /// the budget, or the (greedy) schedule deadlocked mid-run.
   bool feasible = false;
   double makespan = 0.0;
   /// Peak of the simulated shared-memory occupancy.

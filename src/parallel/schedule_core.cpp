@@ -1,8 +1,12 @@
 #include "parallel/schedule_core.hpp"
 
 #include <algorithm>
+#include <utility>
 
+#include "core/check.hpp"
+#include "core/minmem.hpp"
 #include "core/postorder.hpp"
+#include "support/env.hpp"
 
 namespace treemem {
 
@@ -16,6 +20,27 @@ const char* to_string(ParallelPriority priority) {
       return "smallest-work";
   }
   return "?";
+}
+
+const char* to_string(AdmissionPolicy policy) {
+  switch (policy) {
+    case AdmissionPolicy::kGreedy:
+      return "greedy";
+    case AdmissionPolicy::kLookahead:
+      return "lookahead";
+    case AdmissionPolicy::kReservation:
+      return "reservation";
+  }
+  return "?";
+}
+
+std::optional<AdmissionPolicy> admission_policy_from_env() {
+  const auto index =
+      env_choice("TREEMEM_ADMISSION", {"greedy", "lookahead", "reservation"});
+  if (!index) {
+    return std::nullopt;
+  }
+  return static_cast<AdmissionPolicy>(*index);
 }
 
 std::vector<double> default_task_durations(const Tree& tree) {
@@ -87,8 +112,10 @@ void MemoryAccountant::raise_peak(Weight observed) {
 
 ScheduleCore::ScheduleCore(const Tree& tree, ParallelPriority priority,
                            Weight memory_budget,
-                           const std::vector<double>& durations)
+                           const std::vector<double>& durations,
+                           AdmissionPolicy admission, Traversal serial_witness)
     : tree_(&tree),
+      admission_(admission),
       rank_(compute_priority_ranks(tree, priority, durations)),
       missing_children_(static_cast<std::size_t>(tree.size())),
       memory_(memory_budget) {
@@ -100,6 +127,30 @@ ScheduleCore::ScheduleCore(const Tree& tree, ParallelPriority priority,
   }
   std::sort(ready_.begin(), ready_.end(),
             [this](NodeId a, NodeId b) { return before(a, b); });
+
+  // With an infinite budget every admission test is vacuously true; skip the
+  // witness machinery entirely so the front-ends pay nothing for the
+  // default uncapped runs.
+  if (memory_budget >= kInfiniteWeight || tree.size() == 0) {
+    admission_ = AdmissionPolicy::kGreedy;
+  }
+  if (admission_ == AdmissionPolicy::kGreedy) {
+    return;
+  }
+  witness_ = serial_witness.empty()
+                 ? reverse_traversal(minmem_optimal(tree).order)
+                 : std::move(serial_witness);
+  // Validates the witness structurally (bottom-up permutation) and yields
+  // its serial Eq. 1 peak — the budget floor below which no admission
+  // policy can promise progress.
+  witness_peak_ = in_tree_traversal_peak(tree, witness_);
+  const auto p = static_cast<std::size_t>(tree.size());
+  started_.assign(p, 0);
+  finished_flag_.assign(p, 0);
+  if (admission_ == AdmissionPolicy::kReservation) {
+    spec_running_.assign(p, 0);
+    spec_file_charged_.assign(p, 0);
+  }
 }
 
 bool ScheduleCore::all_tasks_fit() const {
@@ -114,15 +165,87 @@ bool ScheduleCore::all_tasks_fit() const {
   return true;
 }
 
+bool ScheduleCore::schedule_feasible() const {
+  if (!all_tasks_fit()) {
+    return false;
+  }
+  if (admission_ == AdmissionPolicy::kGreedy) {
+    return true;
+  }
+  return witness_peak_ <= memory_.budget();
+}
+
+bool ScheduleCore::lookahead_admits(NodeId candidate, Weight delta) const {
+  // Hypothetical occupancy once the candidate has started and every running
+  // task (candidate included) has drained to its output file: the resident
+  // set the serial continuation below would run on top of.
+  Weight mem = memory_.current() + delta + drain_sum_ +
+               (tree_->file_size(candidate) - transient(candidate));
+  const Weight budget = memory_.budget();
+  // Replay the unfinished remainder serially in witness order. Children of
+  // each replayed node are resident by then: finished children's files are
+  // in memory_.current(), running children's arrive via the drain terms,
+  // and unstarted children replay first (the witness is bottom-up). Only
+  // starts are gated — between-step residents are not budget-checked,
+  // matching the at-dispatch accounting of the real scheduler.
+  for (std::size_t k = frontier_; k < witness_.size(); ++k) {
+    const NodeId u = witness_[k];
+    const auto ui = static_cast<std::size_t>(u);
+    if (finished_flag_[ui] || started_[ui] || u == candidate) {
+      continue;
+    }
+    const Weight start_occ =
+        mem + tree_->work_size(u) + tree_->file_size(u);
+    if (start_occ > budget) {
+      return false;
+    }
+    mem = start_occ - tree_->work_size(u) - tree_->child_file_sum(u);
+  }
+  return true;
+}
+
+bool ScheduleCore::admission_allows(NodeId i, Weight delta) const {
+  switch (admission_) {
+    case AdmissionPolicy::kGreedy:
+      return true;
+    case AdmissionPolicy::kLookahead:
+      return lookahead_admits(i, delta);
+    case AdmissionPolicy::kReservation:
+      // The serial lane (the witness frontier's own task) is pre-booked:
+      // by the spec_occ_ invariant it always fits, so it is always
+      // admitted. Everything else runs speculatively against the slack
+      // budget − witness peak.
+      return is_serial_lane(i) ||
+             spec_occ_ + delta <= memory_.budget() - witness_peak_;
+  }
+  return true;
+}
+
+void ScheduleCore::commit_start(NodeId i, Weight delta) {
+  if (admission_ == AdmissionPolicy::kGreedy) {
+    return;
+  }
+  const auto ii = static_cast<std::size_t>(i);
+  started_[ii] = 1;
+  drain_sum_ += tree_->file_size(i) - transient(i);
+  if (admission_ == AdmissionPolicy::kReservation && !is_serial_lane(i)) {
+    spec_occ_ += delta;
+    spec_running_[ii] = 1;
+  }
+}
+
 NodeId ScheduleCore::try_start() {
   for (std::size_t k = 0; k < ready_.size(); ++k) {
     const NodeId i = ready_[k];
     // Starting i converts its children files from resident storage into
     // part of its transient; the admission delta is n_i + f_i.
     const Weight delta = tree_->work_size(i) + tree_->file_size(i);
-    if (!memory_.try_acquire(delta)) {
-      continue;  // does not fit now; try a lower-priority ready task
+    // The policy check is pure, so a refusal leaves no state to unwind;
+    // only then is the budget actually committed.
+    if (!admission_allows(i, delta) || !memory_.try_acquire(delta)) {
+      continue;  // inadmissible now; try a lower-priority ready task
     }
+    commit_start(i, delta);
     ready_.erase(ready_.begin() + static_cast<std::ptrdiff_t>(k));
     return i;
   }
@@ -133,6 +256,45 @@ void ScheduleCore::finish(NodeId i) {
   // Free the transient, keep the output file resident.
   memory_.adjust(tree_->file_size(i) - transient(i));
   ++finished_;
+  if (admission_ != AdmissionPolicy::kGreedy) {
+    const auto ii = static_cast<std::size_t>(i);
+    drain_sum_ -= tree_->file_size(i) - transient(i);
+    finished_flag_[ii] = 1;
+    if (admission_ == AdmissionPolicy::kReservation) {
+      if (spec_running_[ii]) {
+        // The speculative task drained to its file; keep charging the file
+        // until the witness frontier passes it or the parent consumes it.
+        spec_occ_ -= tree_->work_size(i);
+        spec_running_[ii] = 0;
+        spec_file_charged_[ii] = 1;
+      }
+      // The finished parent absorbed and freed its children files — release
+      // any that were still charged to the speculative pool.
+      for (const NodeId c : tree_->children(i)) {
+        const auto ci = static_cast<std::size_t>(c);
+        if (spec_file_charged_[ci]) {
+          spec_occ_ -= tree_->file_size(c);
+          spec_file_charged_[ci] = 0;
+        }
+      }
+    }
+    // Advance the witness frontier past everything finished. A file whose
+    // node the frontier passes becomes part of the witness's own resident
+    // profile (already accounted in witness_peak_), so its speculative
+    // charge is released.
+    while (frontier_ < witness_.size()) {
+      const auto ui = static_cast<std::size_t>(witness_[frontier_]);
+      if (!finished_flag_[ui]) {
+        break;
+      }
+      if (admission_ == AdmissionPolicy::kReservation &&
+          spec_file_charged_[ui]) {
+        spec_occ_ -= tree_->file_size(witness_[frontier_]);
+        spec_file_charged_[ui] = 0;
+      }
+      ++frontier_;
+    }
+  }
   const NodeId parent = tree_->parent(i);
   if (parent != kNoNode &&
       --missing_children_[static_cast<std::size_t>(parent)] == 0) {

@@ -1,7 +1,7 @@
 // Scheduling state shared by the parallel simulator and the threaded
 // executor.
 //
-// Both front-ends run the same greedy, memory-bounded list scheduling of the
+// Both front-ends run the same memory-bounded list scheduling of the
 // multifrontal task tree: a task is ready when all its children finished;
 // while it runs it holds the Eq. 1 transient (children files + n_i + f_i);
 // admission is gated on a shared budget M; ready tasks are tried in priority
@@ -11,6 +11,15 @@
 // transient accounting, priority comparison, admission) lives here so the
 // two cannot drift.
 //
+// Admission is pluggable (AdmissionPolicy). The greedy policy admits any
+// ready task that currently fits — eager subtree starts can strand resident
+// contribution files and deadlock the schedule under a tight budget. The
+// lookahead and reservation policies both reason against a *serial witness*:
+// a bottom-up traversal whose serial Eq. 1 peak fits the budget (the
+// planner's traversal, or the MinMem optimum when none is supplied). They
+// admit a task only when doing so provably cannot strand resident files, so
+// with budget >= the witness peak neither policy can ever stall.
+//
 // ScheduleCore itself is NOT thread-safe: the simulator drives it from its
 // event loop and the executor serializes all calls under its scheduler
 // mutex. The MemoryAccountant inside is atomic so memory/peak can be read
@@ -18,6 +27,8 @@
 #pragma once
 
 #include <atomic>
+#include <cstddef>
+#include <optional>
 #include <vector>
 
 #include "core/traversal.hpp"
@@ -32,6 +43,39 @@ enum class ParallelPriority {
 };
 
 const char* to_string(ParallelPriority priority);
+
+/// How the scheduler decides whether a fitting ready task may actually
+/// start. All three policies share the same accounting and the same
+/// measured <= modeled <= budget invariant; they differ only in which
+/// admissions they refuse.
+enum class AdmissionPolicy {
+  /// Admit any ready task whose transient fits right now. Maximally eager;
+  /// under a tight budget the eagerly started subtrees can strand resident
+  /// files and deadlock the schedule (the stall the benches chart).
+  kGreedy,
+  /// Banker-style lookahead: before committing budget, simulate the serial
+  /// completion of everything still pending (running tasks drain, then the
+  /// unfinished remainder executes in witness order) and refuse the
+  /// admission if that continuation would ever exceed the budget. Exact
+  /// per-state safety; O(remaining nodes) per admission test. Never stalls
+  /// when the budget covers the witness peak.
+  kLookahead,
+  /// Reservation: pre-book the witness tail (the "root path" of the serial
+  /// plan). The next witness task always runs in the reserved serial lane —
+  /// so large late fronts are guaranteed to land — while out-of-order tasks
+  /// are admitted only against the slack (budget − witness peak) and
+  /// charged there until the serial frontier passes them. O(1) amortized
+  /// per admission test; more conservative than lookahead. Never stalls
+  /// when the budget covers the witness peak.
+  kReservation,
+};
+
+const char* to_string(AdmissionPolicy policy);
+
+/// Strictly parsed TREEMEM_ADMISSION = greedy | lookahead | reservation
+/// (support/env.hpp contract: nullopt when unset/empty, treemem::Error on
+/// any other spelling).
+std::optional<AdmissionPolicy> admission_policy_from_env();
 
 /// One scheduled task instance. The simulator fills modeled times, the
 /// executor measured wall-clock seconds since the start of the run.
@@ -88,16 +132,27 @@ class MemoryAccountant {
   std::atomic<Weight> peak_{0};
 };
 
-/// The shared greedy scheduling state machine. Drive it with:
+/// The shared scheduling state machine. Drive it with:
 ///   while (!done()) { id = try_start(); ... run the task ...; finish(id); }
 /// interleaving starts and finishes as the front-end's clock (virtual or
 /// real) dictates. `try_start() == kNoNode` with no task in flight means the
-/// greedy schedule is stuck: started subtrees stranded resident files and no
-/// ready task fits — the instance is infeasible under this policy.
+/// schedule is stuck: started subtrees stranded resident files and no ready
+/// task is admissible — the instance is infeasible under this policy (the
+/// lookahead/reservation policies never reach that state when
+/// schedule_feasible() held at the start).
 class ScheduleCore {
  public:
+  /// `serial_witness`, consumed only by the lookahead/reservation policies,
+  /// is a bottom-up traversal (children before parents, all p nodes) whose
+  /// serial Eq. 1 peak should fit the budget — typically the planner's
+  /// traversal. When empty, the MinMem optimum is computed internally, so
+  /// any budget >= the serial optimal peak guarantees stall-freedom. With
+  /// an infinite budget admission is vacuous and every policy degrades to
+  /// greedy (no witness is computed).
   ScheduleCore(const Tree& tree, ParallelPriority priority,
-               Weight memory_budget, const std::vector<double>& durations);
+               Weight memory_budget, const std::vector<double>& durations,
+               AdmissionPolicy admission = AdmissionPolicy::kGreedy,
+               Traversal serial_witness = {});
 
   /// The Eq. 1 transient of task i: children files + n_i + f_i.
   Weight transient(NodeId i) const {
@@ -109,16 +164,27 @@ class ScheduleCore {
   /// budget, so the instance is infeasible outright.
   bool all_tasks_fit() const;
 
+  /// The front-ends' pre-run gate. Greedy: all_tasks_fit(). Lookahead and
+  /// reservation additionally require the witness's serial peak to fit the
+  /// budget — below that no admission is ever safe (and the policies'
+  /// zero-stall guarantee needs the witness as the fallback schedule).
+  bool schedule_feasible() const;
+
+  AdmissionPolicy admission() const { return admission_; }
+  /// Serial Eq. 1 peak of the witness traversal (0 under greedy).
+  Weight witness_peak() const { return witness_peak_; }
+
   bool has_ready() const { return !ready_.empty(); }
   std::size_t finished_count() const { return finished_; }
   bool done() const {
     return finished_ == static_cast<std::size_t>(tree_->size());
   }
 
-  /// Pops the highest-priority ready task whose start fits the budget on
-  /// top of the current occupancy and accounts its admission (the delta is
-  /// n_i + f_i: the children files it absorbs are already resident).
-  /// Returns kNoNode when no ready task is admissible right now.
+  /// Pops the highest-priority ready task that fits the budget on top of
+  /// the current occupancy AND passes the admission policy, and accounts
+  /// its start (the delta is n_i + f_i: the children files it absorbs are
+  /// already resident). Returns kNoNode when no ready task is admissible
+  /// right now.
   NodeId try_start();
 
   /// Marks i finished: frees its transient, keeps f_i resident until the
@@ -138,12 +204,43 @@ class ScheduleCore {
   }
 
  private:
+  bool admission_allows(NodeId i, Weight delta) const;
+  bool lookahead_admits(NodeId i, Weight delta) const;
+  /// i is the serial lane's task: the first witness node not yet finished
+  /// (and, the caller guarantees, not yet started).
+  bool is_serial_lane(NodeId i) const {
+    return frontier_ < witness_.size() &&
+           witness_[frontier_] == i;
+  }
+  void commit_start(NodeId i, Weight delta);
+
   const Tree* tree_;
+  AdmissionPolicy admission_;
   std::vector<double> rank_;
   std::vector<NodeId> missing_children_;
   std::vector<NodeId> ready_;  ///< sorted by priority (best first)
   MemoryAccountant memory_;
   std::size_t finished_ = 0;
+
+  // Non-greedy machinery. The witness is stored bottom-up; frontier_ is the
+  // first witness position whose node has not finished; drain_sum_ is
+  // Σ over running tasks of (f_i − transient(i)) — what hypothetically
+  // completing them all would add to the occupancy.
+  Traversal witness_;
+  Weight witness_peak_ = 0;
+  std::size_t frontier_ = 0;
+  Weight drain_sum_ = 0;
+  std::vector<char> started_;
+  std::vector<char> finished_flag_;
+  // Reservation pools: spec_occ_ is the occupancy charged to the
+  // speculative (out-of-witness-order) lane; a task's n+f is charged at
+  // start, its n released at finish, and its file released when the serial
+  // frontier passes it or its parent consumes it. The invariant
+  // spec_occ_ <= budget − witness_peak keeps the serial lane's witness
+  // replay admissible at all times — the zero-stall guarantee.
+  Weight spec_occ_ = 0;
+  std::vector<char> spec_running_;
+  std::vector<char> spec_file_charged_;
 };
 
 }  // namespace treemem

@@ -115,6 +115,19 @@ struct PlanOptions {
   /// failing. Below max MemReq no schedule exists and plan() throws
   /// either way.
   bool allow_out_of_core = true;
+  /// Admission policy assumed by the traversal × schedule co-search below
+  /// (and the natural companion of FactorizeOptions::admission — the env
+  /// layer sets both from TREEMEM_ADMISSION).
+  AdmissionPolicy admission = AdmissionPolicy::kGreedy;
+  /// > 0 enables the traversal × schedule co-search: every budget-feasible
+  /// traversal candidate (postorder, Liu, MinMem — the searches plan()
+  /// already memoizes) is simulated as the serial witness of a
+  /// `co_search_workers`-worker schedule under `admission`, and the plan
+  /// adopts the traversal minimizing the simulated *parallel* peak
+  /// (tie-break: makespan, then candidate order) — the paper's MinMem
+  /// machinery steering the parallel regime rather than the serial one.
+  /// 0 (default) keeps the serial decision procedure untouched.
+  int co_search_workers = 0;
 };
 
 struct FactorizeOptions {
@@ -125,14 +138,20 @@ struct FactorizeOptions {
   /// Dense front kernel (the block_size default is the measured-fastest
   /// 16; see dense/front_kernel.hpp for the bench data).
   KernelConfig kernel;
-  /// Ready-task priority of the parallel engine's greedy scheduler.
+  /// Ready-task priority of the parallel engine's scheduler.
   ParallelPriority priority = ParallelPriority::kCriticalPath;
+  /// How the parallel engine admits fronts against the plan's budget. The
+  /// planned traversal serves as the serial witness, so kLookahead and
+  /// kReservation can never stall (the plan guarantees the witness fits
+  /// the budget) and the factor stays bit-identical across policies.
+  AdmissionPolicy admission = AdmissionPolicy::kGreedy;
   /// A tight budget can stall the parallel engine's greedy schedule
-  /// (started subtrees strand resident files). When true, such a stall
-  /// falls back to the serial engine along the planned traversal — which
-  /// the plan guarantees feasible — and produces the identical factor
-  /// (bit-exact across engines). When false, a stall throws, so benches
-  /// can observe and report it.
+  /// (started subtrees strand resident files; the non-greedy policies are
+  /// stall-free by construction). When true, such a stall falls back to
+  /// the serial engine along the planned traversal — which the plan
+  /// guarantees feasible — and produces the identical factor (bit-exact
+  /// across engines). When false, a stall throws, so benches can observe
+  /// and report it.
   bool allow_serial_fallback = true;
 };
 
@@ -160,6 +179,8 @@ class SolverStallError : public Error {
 ///   TREEMEM_TRAVERSAL = auto | postorder | liu | minmem
 ///   TREEMEM_BUDGET    = <positive entries>        (plan memory budget)
 ///   TREEMEM_WORKERS   = <positive thread count>   (tree-level workers)
+///   TREEMEM_ADMISSION = greedy | lookahead | reservation
+///                       (applied to plan *and* factorize admission)
 ///   TREEMEM_KERNEL    = scalar|blocked|parallel[:<block size>]
 /// (TREEMEM_THREADS keeps steering intra-front workers and the
 /// workers == 0 default through default_thread_count().)
@@ -184,11 +205,15 @@ struct SolverStats {
   Weight in_core_optimum = 0;        ///< MinMem optimum (workspace floor)
   Weight best_postorder_peak = 0;    ///< what a postorder-only code needs
   Weight planned_io_volume = 0;      ///< entries written out-of-core (0 in-core)
+  /// Simulated parallel peak of the co-searched schedule (0 when the
+  /// co-search was off or found no feasible schedule).
+  Weight planned_parallel_peak = 0;
   double plan_seconds = 0.0;
 
   // factorize (latest run; factorizations counts since analyze)
   std::string engine;                ///< "serial" | "parallel" | "out-of-core"
   std::string kernel;                ///< dense kernel name
+  std::string admission;             ///< admission policy of parallel runs
   int workers = 0;
   long long flops = 0;
   Weight measured_peak_entries = 0;  ///< engine-metered live entries
@@ -249,6 +274,7 @@ struct SolverPlan {
   Weight in_core_optimum = 0;
   Weight best_postorder_peak = 0;
   Weight planned_io_volume = 0;
+  Weight planned_parallel_peak = 0;
   double plan_seconds = 0.0;
 };
 

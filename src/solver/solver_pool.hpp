@@ -54,7 +54,11 @@ struct SolverPoolOptions {
   bool use_cache = true;
   /// Phase options applied to every request (analyze/plan feed the cache
   /// key configuration; factorize applies per job, with kAuto demoted to
-  /// serial as described above).
+  /// serial as described above). This is also how the scheduler's
+  /// admission policy reaches pooled jobs: plan.admission /
+  /// factorize.admission — e.g. set from TREEMEM_ADMISSION via
+  /// solver_options_from_env() — apply to every tenant's parallel
+  /// factorizations.
   SolverOptions solver;
   /// Pool-wide budget on the sum of in-flight plans' modeled peaks
   /// (entries, Eq. 1 accounting). kInfiniteWeight = no admission gate.

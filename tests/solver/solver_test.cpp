@@ -401,7 +401,7 @@ class SolverEnvGuard {
  private:
   static constexpr const char* kNames[] = {
       "TREEMEM_ORDERING", "TREEMEM_TRAVERSAL", "TREEMEM_BUDGET",
-      "TREEMEM_WORKERS", "TREEMEM_KERNEL"};
+      "TREEMEM_WORKERS", "TREEMEM_KERNEL", "TREEMEM_ADMISSION"};
   std::vector<std::pair<std::string, std::string>> saved_;
 };
 
@@ -419,6 +419,7 @@ TEST(SolverOptionsEnv, AppliesAllKnobsStrictly) {
   ::setenv("TREEMEM_BUDGET", "123456", 1);
   ::setenv("TREEMEM_WORKERS", "8", 1);
   ::setenv("TREEMEM_KERNEL", "blocked:32", 1);
+  ::setenv("TREEMEM_ADMISSION", "lookahead", 1);
   const SolverOptions options = solver_options_from_env();
   EXPECT_EQ(options.analyze.ordering, OrderingChoice::kNestedDissection);
   EXPECT_EQ(options.plan.policy, TraversalPolicy::kMinMem);
@@ -426,6 +427,9 @@ TEST(SolverOptionsEnv, AppliesAllKnobsStrictly) {
   EXPECT_EQ(options.factorize.workers, 8);
   EXPECT_EQ(options.factorize.kernel.kind, KernelKind::kBlocked);
   EXPECT_EQ(options.factorize.kernel.block_size, 32u);
+  EXPECT_EQ(options.plan.admission, AdmissionPolicy::kLookahead);
+  EXPECT_EQ(options.factorize.admission, AdmissionPolicy::kLookahead);
+  ::unsetenv("TREEMEM_ADMISSION");
 
   // Malformed values throw instead of silently reconfiguring the run.
   ::setenv("TREEMEM_ORDERING", "metis", 1);
