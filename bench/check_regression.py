@@ -11,8 +11,10 @@ Two classes of metric, two rules:
     tolerance only to absorb future benign tie-break changes;
 
   * noisy (wall-clock service throughput): the cached/cold solves-per-sec
-    ratio may wobble with machine load, so only a drop below 80% of the
-    baseline fails.
+    ratio wobbles with load on shared CI runners, so the baseline-relative
+    check is a warning only; the hard gate is the absolute floor of 1.0 —
+    if the symbolic cache makes solves *slower* than a cold analyze, that
+    is a real regression on any machine.
 
 Usage: check_regression.py <report.json> <baseline.json>
 Exits 0 when clean, 1 on any regression (each printed as 'FAIL: ...').
@@ -20,8 +22,9 @@ Exits 0 when clean, 1 on any regression (each printed as 'FAIL: ...').
 import json
 import sys
 
-SPEEDUP_TOLERANCE = 0.98  # deterministic, slack for tie-break changes only
-NOISY_TOLERANCE = 0.80    # wall-clock metrics: >20% drop fails
+SPEEDUP_TOLERANCE = 0.98   # deterministic, slack for tie-break changes only
+NOISY_TOLERANCE = 0.80     # wall-clock metrics: >20% drop warns (no fail)
+SERVICE_RATIO_FLOOR = 1.0  # cached slower than cold fails on any machine
 
 def fail(messages, text):
     messages.append("FAIL: " + text)
@@ -78,19 +81,26 @@ def main():
 
     ratio = report.get("service", {}).get("cached_over_cold", 0.0)
     base_ratio = baseline.get("service", {}).get("cached_over_cold", 0.0)
-    if base_ratio > 0 and ratio < NOISY_TOLERANCE * base_ratio:
-        fail(failures, "service cached/cold ratio %.4f below %.4f "
-             "(80%% of baseline %.4f) — noisy metric, but this is a big drop"
-             % (ratio, NOISY_TOLERANCE * base_ratio, base_ratio))
+    if base_ratio > 0:
+        if ratio < SERVICE_RATIO_FLOOR:
+            fail(failures, "service cached/cold ratio %.4f below %.2f: "
+                 "the symbolic cache made solves slower than cold analyze"
+                 % (ratio, SERVICE_RATIO_FLOOR))
+        elif ratio < NOISY_TOLERANCE * base_ratio:
+            print("warning: service cached/cold ratio %.4f below %.4f "
+                  "(80%% of baseline %.4f) — wall-clock noise on a shared "
+                  "runner, or a real slowdown worth a look; not failing"
+                  % (ratio, NOISY_TOLERANCE * base_ratio, base_ratio))
 
     for line in failures:
         print(line)
     if failures:
         sys.exit(1)
     print("bench regression check clean: %d instances, "
-          "lookahead/reservation stalls 0/0, cached/cold %.2f "
+          "lookahead/reservation stalls %d/%d, cached/cold %.2f "
           "(baseline %.2f)"
-          % (len(seen), ratio, base_ratio))
+          % (len(seen), totals.get("lookahead_stalls", 0),
+             totals.get("reservation_stalls", 0), ratio, base_ratio))
 
 if __name__ == "__main__":
     main()
