@@ -1,20 +1,27 @@
 #!/usr/bin/env python3
-"""Diff a bench regression report (BENCH_7.json) against the checked-in
+"""Diff a bench regression report (BENCH_8.json) against the checked-in
 baseline (bench/baseline.json) and fail CI on regressions.
 
 Two classes of metric, two rules:
 
-  * deterministic (stall counts, simulated speedups, simulated peaks):
-    stall counts must not exceed the baseline — a single new stall under
-    the lookahead or reservation policy is a hard failure; simulated
-    speedups are simulator time, reproducible bit for bit, and get a 2%
-    tolerance only to absorb future benign tie-break changes;
+  * deterministic (stall counts, simulated speedups, simulated peaks,
+    single-worker cache churn counters, warm-restart miss counts): stall
+    counts must not exceed the baseline — a single new stall under the
+    lookahead or reservation policy is a hard failure; simulated speedups
+    are simulator time, reproducible bit for bit, and get a 2% tolerance
+    only to absorb future benign tie-break changes; the churn scenario's
+    hit/miss/eviction counters come from a seeded trace on one worker and
+    must match the baseline exactly, with resident entries never above the
+    cap; a warm restart must report exactly zero symbolic misses;
 
   * noisy (wall-clock service throughput): the cached/cold solves-per-sec
     ratio wobbles with load on shared CI runners, so the baseline-relative
     check is a warning only; the hard gate is the absolute floor of 1.0 —
     if the symbolic cache makes solves *slower* than a cold analyze, that
-    is a real regression on any machine.
+    is a real regression on any machine. The repeat-values scenario skips
+    the entire numeric factorization on a hit, so its cached/refactorize
+    ratio carries a higher absolute floor of 1.5; the warm-restart
+    throughput ratio only warns (its hard contract is the miss count).
 
 Usage: check_regression.py <report.json> <baseline.json>
 Exits 0 when clean, 1 on any regression (each printed as 'FAIL: ...').
@@ -25,6 +32,7 @@ import sys
 SPEEDUP_TOLERANCE = 0.98   # deterministic, slack for tie-break changes only
 NOISY_TOLERANCE = 0.80     # wall-clock metrics: >20% drop warns (no fail)
 SERVICE_RATIO_FLOOR = 1.0  # cached slower than cold fails on any machine
+REPEAT_RATIO_FLOOR = 1.5   # factor-cache hits skip factorize entirely
 
 def fail(messages, text):
     messages.append("FAIL: " + text)
@@ -92,15 +100,68 @@ def main():
                   "runner, or a real slowdown worth a look; not failing"
                   % (ratio, NOISY_TOLERANCE * base_ratio, base_ratio))
 
+    round2 = report.get("service_round2", {})
+    base_round2 = baseline.get("service_round2", {})
+
+    # Churn: seeded trace, one worker — the counters are exact.
+    churn = round2.get("churn", {})
+    base_churn = base_round2.get("churn", {})
+    if churn.get("entries", 0) > churn.get("cap", 0):
+        fail(failures, "churn: %d resident symbolic entries above the "
+             "eviction cap of %d"
+             % (churn.get("entries", 0), churn.get("cap", 0)))
+    for key in ("hits", "misses", "evictions", "entries"):
+        if base_churn and churn.get(key) != base_churn.get(key):
+            fail(failures, "churn: %s = %s (baseline %s, deterministic "
+                 "single-worker counter)"
+                 % (key, churn.get(key), base_churn.get(key)))
+
+    # Warm restart: the persistence contract is zero symbolic misses on a
+    # replayed trace; the throughput ratio is wall-clock and only warns.
+    warm = round2.get("warm_restart", {})
+    base_warm = base_round2.get("warm_restart", {})
+    if warm.get("warm_misses", -1) != 0:
+        fail(failures, "warm restart: %s symbolic misses after loading the "
+             "state dir (must be exactly 0)" % warm.get("warm_misses"))
+    warm_ratio = warm.get("warm_over_cold", 0.0)
+    base_warm_ratio = base_warm.get("warm_over_cold", 0.0)
+    if base_warm_ratio > 0 and warm_ratio < NOISY_TOLERANCE * base_warm_ratio:
+        print("warning: warm/cold restart ratio %.4f below %.4f (80%% of "
+              "baseline %.4f) — wall-clock noise, or the loader got slow; "
+              "not failing" % (warm_ratio, NOISY_TOLERANCE * base_warm_ratio,
+                               base_warm_ratio))
+
+    # Repeat values: a hit skips the whole factorization, so the ratio must
+    # clear 1.5 on any machine, and the cache must actually be hitting.
+    repeat = round2.get("repeat_values", {})
+    base_repeat = base_round2.get("repeat_values", {})
+    if repeat.get("factor_hits", 0) <= 0:
+        fail(failures, "repeat values: zero numeric-factor cache hits on a "
+             "trace that repeats every (pattern, values) pair")
+    repeat_ratio = repeat.get("cached_over_refactor", 0.0)
+    if repeat_ratio < REPEAT_RATIO_FLOOR:
+        fail(failures, "repeat values: cached/refactorize ratio %.4f below "
+             "%.2f — the factor cache is not paying for itself"
+             % (repeat_ratio, REPEAT_RATIO_FLOOR))
+    base_repeat_ratio = base_repeat.get("cached_over_refactor", 0.0)
+    if (base_repeat_ratio > 0
+            and repeat_ratio < NOISY_TOLERANCE * base_repeat_ratio):
+        print("warning: repeat-values cached/refactorize ratio %.4f below "
+              "%.4f (80%% of baseline %.4f) — wall-clock noise on a shared "
+              "runner, or a real slowdown worth a look; not failing"
+              % (repeat_ratio, NOISY_TOLERANCE * base_repeat_ratio,
+                 base_repeat_ratio))
+
     for line in failures:
         print(line)
     if failures:
         sys.exit(1)
     print("bench regression check clean: %d instances, "
           "lookahead/reservation stalls %d/%d, cached/cold %.2f "
-          "(baseline %.2f)"
+          "(baseline %.2f), warm misses %s, repeat-values ratio %.2f"
           % (len(seen), totals.get("lookahead_stalls", 0),
-             totals.get("reservation_stalls", 0), ratio, base_ratio))
+             totals.get("reservation_stalls", 0), ratio, base_ratio,
+             warm.get("warm_misses"), repeat_ratio))
 
 if __name__ == "__main__":
     main()

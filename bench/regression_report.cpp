@@ -1,4 +1,4 @@
-// regression_report — the machine-readable bench gate (BENCH_7.json).
+// regression_report — the machine-readable bench gate (BENCH_8.json).
 //
 // Emits one JSON report for CI to diff against the checked-in
 // bench/baseline.json (bench/check_regression.py):
@@ -13,12 +13,19 @@
 //     tight tolerance;
 //   * the solver service's cached/cold solves-per-sec ratio on a small
 //     mixed-traffic trace — wall-clock, hence noisy: the checker only
-//     flags drops past 20% of baseline.
+//     flags drops past 20% of baseline;
+//   * the round-two service scenarios: symbolic-cache churn through an
+//     eviction cap (single worker, so hit/miss/eviction counts are exact),
+//     a warm restart from a persisted state dir (the warm run must report
+//     zero symbolic misses), and a repeat-values trace through the
+//     numeric-factor cache (cached/refactorize solves-per-sec must clear
+//     the 1.5x floor).
 //
 // Unlike the other benches this report IGNORES TREEMEM_SCALE: the corpus
 // is pinned at scale 1.0 so the numbers are comparable across runs and
 // machines (the stall counts and simulated speedups are then exactly
 // reproducible). TREEMEM_OUT still picks the output directory.
+#include <filesystem>
 #include <iomanip>
 #include <iostream>
 #include <fstream>
@@ -32,6 +39,7 @@
 #include "perf/corpus.hpp"
 #include "perf/traffic.hpp"
 #include "solver/solver_pool.hpp"
+#include "solver/symbolic_store.hpp"
 #include "support/timer.hpp"
 
 namespace {
@@ -44,12 +52,23 @@ std::string num(double v) {
   return oss.str();
 }
 
-/// Cold or cached solves/sec of the service layer on `trace`.
-double service_solves_per_sec(const ServiceTrace& trace, bool use_cache) {
-  SolverPoolOptions options;
-  options.workers = 2;
-  options.use_cache = use_cache;
+/// One measured pass of `trace` through a SolverPool built from `options`,
+/// optionally loading persisted symbolic state before the trace and saving
+/// it after (the warm-restart scenario).
+struct ServiceRun {
+  double solves_per_sec = 0.0;
+  SymbolicCache::Stats cache;
+  NumericCache::Stats factors;
+};
+
+ServiceRun run_service(const ServiceTrace& trace,
+                       const SolverPoolOptions& options,
+                       const std::string& load_dir = "",
+                       const std::string& save_dir = "") {
   SolverPool pool(options);
+  if (!load_dir.empty()) {
+    load_symbolic_state(pool.cache(), load_dir);
+  }
   std::vector<SolveRequest> requests;
   requests.reserve(trace.requests.size());
   for (const ServiceRequest& request : trace.requests) {
@@ -66,13 +85,29 @@ double service_solves_per_sec(const ServiceTrace& trace, bool use_cache) {
     rhs_columns += static_cast<long long>(future.get().solutions.size());
   }
   const double seconds = wall.elapsed_s();
-  return seconds > 0.0 ? static_cast<double>(rhs_columns) / seconds : 0.0;
+  ServiceRun run;
+  run.solves_per_sec =
+      seconds > 0.0 ? static_cast<double>(rhs_columns) / seconds : 0.0;
+  run.cache = pool.cache_stats();
+  run.factors = pool.factor_cache_stats();
+  if (!save_dir.empty()) {
+    save_symbolic_state(pool.cache(), save_dir);
+  }
+  return run;
+}
+
+/// Cold or cached solves/sec of the service layer on `trace`.
+double service_solves_per_sec(const ServiceTrace& trace, bool use_cache) {
+  SolverPoolOptions options;
+  options.workers = 2;
+  options.use_cache = use_cache;
+  return run_service(trace, options).solves_per_sec;
 }
 
 int run() {
   bench::print_header(
       "regression report — admission stalls, simulated speedups, service "
-      "throughput (BENCH_7.json)");
+      "throughput (BENCH_8.json)");
 
   // Scale pinned: this report must mean the same thing on every machine.
   const auto instances = build_numeric_instances(CorpusOptions{}, 5);
@@ -83,7 +118,7 @@ int run() {
 
   std::ostringstream json;
   json << "{\n";
-  json << "  \"schema\": \"treemem-bench-7\",\n";
+  json << "  \"schema\": \"treemem-bench-8\",\n";
   json << "  \"budget_rule\": \"max(1.5*minmem_peak, max_mem_req)\",\n";
   json << "  \"speedup_workers\": 4,\n";
   json << "  \"instances\": [\n";
@@ -153,10 +188,84 @@ int run() {
   const double ratio = cold > 0.0 ? cached / cold : 0.0;
   json << "  \"service\": {\"cold_solves_per_sec\": " << num(cold)
        << ", \"cached_solves_per_sec\": " << num(cached)
-       << ", \"cached_over_cold\": " << num(ratio) << "}\n";
+       << ", \"cached_over_cold\": " << num(ratio) << "},\n";
+
+  // --- Round-two service scenarios ---------------------------------------
+  // Churn: five patterns rotating through a two-entry symbolic cache on a
+  // single worker — the trace is seeded and the worker serializes, so the
+  // hit/miss/eviction counts are exactly reproducible and gated exactly.
+  TrafficOptions churn_traffic;
+  churn_traffic.patterns = 5;
+  churn_traffic.grid_base = 10;
+  churn_traffic.requests = 20;
+  churn_traffic.max_rhs = 2;
+  const ServiceTrace churn_trace = build_service_trace(churn_traffic);
+  SolverPoolOptions churn_options;
+  churn_options.workers = 1;
+  churn_options.cache_entries = 2;
+  const ServiceRun churn = run_service(churn_trace, churn_options);
+  json << "  \"service_round2\": {\n";
+  json << "    \"churn\": {\"cap\": 2, \"patterns\": "
+       << churn_traffic.patterns << ", \"hits\": " << churn.cache.hits
+       << ", \"misses\": " << churn.cache.misses
+       << ", \"evictions\": " << churn.cache.evictions
+       << ", \"entries\": " << churn.cache.entries << "},\n";
+  std::cout << "churn: hits=" << churn.cache.hits << " misses="
+            << churn.cache.misses << " evictions=" << churn.cache.evictions
+            << " entries=" << churn.cache.entries << " (cap 2)\n";
+
+  // Warm restart: run the trace once saving symbolic state, then replay it
+  // in a fresh pool that loads the state dir — the warm run must report
+  // zero symbolic misses (the persistence contract; deterministic).
+  const std::string state_dir = bench::output_dir() + "/warm_state";
+  std::filesystem::remove_all(state_dir);
+  SolverPoolOptions serve_options;
+  serve_options.workers = 2;
+  const ServiceRun first_boot =
+      run_service(trace, serve_options, /*load_dir=*/"", state_dir);
+  const ServiceRun warm_boot = run_service(trace, serve_options, state_dir);
+  const double warm_ratio =
+      first_boot.solves_per_sec > 0.0
+          ? warm_boot.solves_per_sec / first_boot.solves_per_sec
+          : 0.0;
+  json << "    \"warm_restart\": {\"cold_misses\": " << first_boot.cache.misses
+       << ", \"warm_misses\": " << warm_boot.cache.misses
+       << ", \"warm_over_cold\": " << num(warm_ratio) << "},\n";
+  std::cout << "warm restart: cold_misses=" << first_boot.cache.misses
+            << " warm_misses=" << warm_boot.cache.misses
+            << " warm/cold=" << num(warm_ratio) << "\n";
+
+  // Repeat values: pin every request of a pattern to one value seed so the
+  // trace repeats (pattern, values) pairs, then compare refactorize-every-
+  // time against the numeric-factor cache. Wall-clock, but skipping the
+  // whole numeric factorization must clear the 1.5x floor on any machine.
+  ServiceTrace repeat_trace = trace;
+  for (ServiceRequest& request : repeat_trace.requests) {
+    request.value_seed =
+        static_cast<std::uint64_t>(request.pattern_id + 1) * 17u;
+  }
+  SolverPoolOptions refactor_options;
+  refactor_options.workers = 2;
+  SolverPoolOptions factor_cache_options = refactor_options;
+  factor_cache_options.factor_cache_entries = 8;
+  const ServiceRun refactor = run_service(repeat_trace, refactor_options);
+  const ServiceRun factor_cached =
+      run_service(repeat_trace, factor_cache_options);
+  const double repeat_ratio =
+      refactor.solves_per_sec > 0.0
+          ? factor_cached.solves_per_sec / refactor.solves_per_sec
+          : 0.0;
+  json << "    \"repeat_values\": {\"refactor_solves_per_sec\": "
+       << num(refactor.solves_per_sec) << ", \"cached_solves_per_sec\": "
+       << num(factor_cached.solves_per_sec) << ", \"cached_over_refactor\": "
+       << num(repeat_ratio) << ", \"factor_hits\": "
+       << factor_cached.factors.hits << "}\n";
+  json << "  }\n";
+  std::cout << "repeat values: factor_hits=" << factor_cached.factors.hits
+            << " cached/refactor=" << num(repeat_ratio) << "\n";
   json << "}\n";
 
-  const std::string path = bench::output_dir() + "/BENCH_7.json";
+  const std::string path = bench::output_dir() + "/BENCH_8.json";
   std::ofstream out(path);
   out << json.str();
   out.close();

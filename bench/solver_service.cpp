@@ -9,13 +9,25 @@
 //   cached — use_cache = true: one analyze+plan per distinct pattern,
 //            every later request adopts the shared symbolic state.
 //
+// Round-two scenarios ride the same trace:
+//
+//   churn-evict    — the symbolic cache capped below the pattern count, so
+//                    LRU eviction churns while correctness holds;
+//   warm-restart   — symbolic state persisted to a state dir by one pool
+//                    and loaded by a fresh one (zero symbolic misses);
+//   repeat-refactor / repeat-cached — the trace with every request's value
+//                    seed pinned per pattern, served without and with the
+//                    numeric-factor cache (hits skip factorize entirely).
+//
 // Reported per scenario: solves/sec (rhs columns / wall), p50/p99 request
-// latency, cache hits/misses and the pool-aggregated SolverStats — plus
-// the headline cached-vs-cold speedup. Scale knobs:
+// latency, cache hits/misses/evictions, factor-cache hits and the
+// pool-aggregated SolverStats — plus the headline cached-vs-cold and
+// repeat-values speedups. Scale knobs:
 //   TREEMEM_SCALE — multiplies the base grid edge and the request count
 //   TREEMEM_OUT   — CSV output directory (solver_service.csv)
 #include <algorithm>
 #include <cmath>
+#include <filesystem>
 #include <future>
 #include <iomanip>
 #include <iostream>
@@ -41,6 +53,9 @@ struct ScenarioResult {
   double p99_ms = 0.0;
   long long cache_hits = 0;
   long long cache_misses = 0;
+  long long cache_evictions = 0;
+  long long factor_hits = 0;
+  long long factor_misses = 0;
   SolverStats totals;
 };
 
@@ -52,11 +67,13 @@ double percentile_ms(std::vector<double> latencies, double p) {
 }
 
 ScenarioResult run_scenario(const std::string& name, const ServiceTrace& trace,
-                            bool use_cache, int workers) {
-  SolverPoolOptions options;
-  options.workers = workers;
-  options.use_cache = use_cache;
+                            const SolverPoolOptions& options,
+                            const std::string& load_dir = "",
+                            const std::string& save_dir = "") {
   SolverPool pool(options);
+  if (!load_dir.empty()) {
+    load_symbolic_state(pool.cache(), load_dir);
+  }
 
   // Materialize every request up front: the measured window contains only
   // service work (symbolic, factorize, solves), not matrix generation.
@@ -92,7 +109,14 @@ ScenarioResult run_scenario(const std::string& name, const ServiceTrace& trace,
   const SymbolicCache::Stats cache = pool.cache_stats();
   result.cache_hits = cache.hits;
   result.cache_misses = cache.misses;
+  result.cache_evictions = static_cast<long long>(cache.evictions);
+  const NumericCache::Stats factors = pool.factor_cache_stats();
+  result.factor_hits = factors.hits;
+  result.factor_misses = factors.misses;
   result.totals = pool.aggregated_stats();
+  if (!save_dir.empty()) {
+    save_symbolic_state(pool.cache(), save_dir);
+  }
   return result;
 }
 
@@ -122,17 +146,59 @@ int main() {
             << ", rhs columns=" << trace.total_rhs() << "\n";
 
   const int workers = static_cast<int>(default_thread_count());
-  const ScenarioResult cold =
-      run_scenario("cold-analyze", trace, /*use_cache=*/false, workers);
+  SolverPoolOptions cold_options;
+  cold_options.workers = workers;
+  cold_options.use_cache = false;
+  SolverPoolOptions cached_options;
+  cached_options.workers = workers;
+  const ScenarioResult cold = run_scenario("cold-analyze", trace, cold_options);
   const ScenarioResult cached =
-      run_scenario("symbolic-cache", trace, /*use_cache=*/true, workers);
+      run_scenario("symbolic-cache", trace, cached_options);
 
+  // Churn: cap the symbolic cache below the pattern count so LRU eviction
+  // is constantly in play while the trace keeps rotating patterns.
+  SolverPoolOptions churn_options = cached_options;
+  churn_options.cache_entries =
+      static_cast<std::size_t>(std::max(1, traffic.patterns / 2));
+  const ScenarioResult churn =
+      run_scenario("churn-evict", trace, churn_options);
+
+  // Warm restart: persist the cached pool's symbolic state, then replay
+  // the trace in a fresh pool that loads it — zero symbolic misses.
+  const std::string state_dir = bench::output_dir() + "/solver_service_state";
+  std::filesystem::remove_all(state_dir);
+  const ScenarioResult first_boot = run_scenario(
+      "first-boot", trace, cached_options, /*load_dir=*/"", state_dir);
+  const ScenarioResult warm = run_scenario("warm-restart", trace,
+                                           cached_options, state_dir);
+
+  // Repeat values: pin every request of a pattern to one value seed, then
+  // serve without and with the numeric-factor cache.
+  ServiceTrace repeat_trace = trace;
+  for (ServiceRequest& request : repeat_trace.requests) {
+    request.value_seed =
+        static_cast<std::uint64_t>(request.pattern_id + 1) * 17u;
+  }
+  const ScenarioResult repeat_refactor =
+      run_scenario("repeat-refactor", repeat_trace, cached_options);
+  SolverPoolOptions factor_options = cached_options;
+  factor_options.factor_cache_entries =
+      static_cast<std::size_t>(traffic.patterns) * 2;
+  const ScenarioResult repeat_cached =
+      run_scenario("repeat-cached", repeat_trace, factor_options);
+
+  const ScenarioResult* scenarios[] = {&cold,       &cached, &churn,
+                                       &first_boot, &warm,   &repeat_refactor,
+                                       &repeat_cached};
   TextTable table({"scenario", "solves/sec", "p50 ms", "p99 ms", "hits",
-                   "misses", "analyze s", "factorize s", "solve s"});
-  for (const ScenarioResult* r : {&cold, &cached}) {
+                   "misses", "evict", "f.hits", "analyze s", "factorize s",
+                   "solve s"});
+  for (const ScenarioResult* r : scenarios) {
     table.add_row({r->name, fixed3(r->solves_per_sec), fixed3(r->p50_ms),
                    fixed3(r->p99_ms), std::to_string(r->cache_hits),
                    std::to_string(r->cache_misses),
+                   std::to_string(r->cache_evictions),
+                   std::to_string(r->factor_hits),
                    fixed3(r->totals.analyze_seconds),
                    fixed3(r->totals.factorize_seconds),
                    fixed3(r->totals.solve_seconds)});
@@ -142,13 +208,23 @@ int main() {
                              ? cached.solves_per_sec / cold.solves_per_sec
                              : 0.0;
   std::cout << "cached vs cold speedup: " << fixed3(speedup) << "x\n";
+  const double repeat_speedup =
+      repeat_refactor.solves_per_sec > 0.0
+          ? repeat_cached.solves_per_sec / repeat_refactor.solves_per_sec
+          : 0.0;
+  std::cout << "repeat-values cached vs refactorize speedup: "
+            << fixed3(repeat_speedup) << "x\n";
+  std::cout << "warm restart symbolic misses: " << warm.cache_misses
+            << " (cold boot paid " << first_boot.cache_misses << ")\n";
 
   CsvWriter csv(bench::output_dir() + "/solver_service.csv",
                 {"scenario", "patterns", "requests", "rhs_columns", "workers",
                  "wall_seconds", "solves_per_sec", "p50_ms", "p99_ms",
-                 "cache_hits", "cache_misses", "factorizations", "rhs_solved",
-                 "analyze_seconds", "factorize_seconds", "solve_seconds"});
-  for (const ScenarioResult* r : {&cold, &cached}) {
+                 "cache_hits", "cache_misses", "cache_evictions",
+                 "factor_hits", "factor_misses", "factorizations",
+                 "rhs_solved", "analyze_seconds", "factorize_seconds",
+                 "solve_seconds"});
+  for (const ScenarioResult* r : scenarios) {
     csv.write_row(
         {r->name, CsvWriter::cell(static_cast<long long>(traffic.patterns)),
          CsvWriter::cell(r->requests), CsvWriter::cell(r->rhs_columns),
@@ -156,6 +232,8 @@ int main() {
          CsvWriter::cell(r->wall_seconds), CsvWriter::cell(r->solves_per_sec),
          CsvWriter::cell(r->p50_ms), CsvWriter::cell(r->p99_ms),
          CsvWriter::cell(r->cache_hits), CsvWriter::cell(r->cache_misses),
+         CsvWriter::cell(r->cache_evictions),
+         CsvWriter::cell(r->factor_hits), CsvWriter::cell(r->factor_misses),
          CsvWriter::cell(static_cast<long long>(r->totals.factorizations)),
          CsvWriter::cell(static_cast<long long>(r->totals.rhs_solved)),
          CsvWriter::cell(r->totals.analyze_seconds),

@@ -22,7 +22,9 @@
 //       deterministic SPD value set instead.
 //
 //   treemem_cli serve <trace.txt> [solve flags] [--pool-workers W]
-//                     [--repeat R] [--csv stats.csv]
+//                     [--repeat R] [--cache-entries N] [--cache-bytes B]
+//                     [--factor-cache N] [--state-dir DIR] [--promote-lone]
+//                     [--csv stats.csv]
 //       Solver-as-a-service replay: each trace line is
 //           <matrix.mtx> <value-seed> <num-rhs>
 //       (# comments and blank lines skipped; value-seed 0 uses the file's
@@ -30,7 +32,14 @@
 //       pattern). Requests stream through a SolverPool sharing one
 //       SymbolicCache, so repeated patterns skip analyze+plan; --repeat
 //       replays the whole trace R times. Prints solves/sec and latency
-//       percentiles.
+//       percentiles. --cache-entries/--cache-bytes cap the symbolic cache
+//       (LRU eviction; 0 = unbounded), --factor-cache N keeps up to N
+//       numeric factors resident so repeated (pattern, values) requests
+//       skip factorize, --promote-lone lets a lone job borrow the idle
+//       pool workers for parallel factorization, and --state-dir DIR
+//       persists the symbolic cache across runs: state is loaded before
+//       the replay (a warm restart — 0 symbolic misses on a repeated
+//       trace) and saved after.
 //
 //   treemem_cli tree <tree.txt> [--memory M]
 //       The same MinMemory analysis for a task tree in the treemem text
@@ -73,7 +82,10 @@ int usage() {
       << "                    [--kernel scalar|blocked|parallel[:nb]]"
          " [--rhs K] [--seed S] [--synthetic] [--csv stats.csv]\n"
       << "  treemem_cli serve <trace.txt> [solve flags] [--pool-workers W]"
-         " [--repeat R] [--csv stats.csv]\n"
+         " [--repeat R]\n"
+      << "                    [--cache-entries N] [--cache-bytes B]"
+         " [--factor-cache N] [--state-dir DIR] [--promote-lone]"
+         " [--csv stats.csv]\n"
       << "      trace line: <matrix.mtx> <value-seed> <num-rhs>"
          " (seed 0 = the file's own values)\n"
       << "  treemem_cli tree <tree.txt> [--memory M]\n"
@@ -141,6 +153,11 @@ struct CliOptions {
   bool synthetic = false;
   int pool_workers = 0;
   int repeat = 1;
+  std::size_t cache_entries = 0;
+  std::size_t cache_bytes = 0;
+  std::size_t factor_cache = 0;
+  bool promote_lone = false;
+  std::string state_dir;
   std::string csv_path;
 };
 
@@ -379,7 +396,27 @@ int run_serve(const std::string& trace_path, const CliOptions& cli) {
   SolverPoolOptions pool_options;
   pool_options.workers = cli.pool_workers;
   pool_options.solver = *options;
+  pool_options.cache_entries = cli.cache_entries;
+  pool_options.cache_bytes = cli.cache_bytes;
+  pool_options.factor_cache_entries = cli.factor_cache;
+  pool_options.promote_lone_jobs = cli.promote_lone;
   SolverPool pool(pool_options);
+
+  // Warm restart: seed the symbolic cache from a previous run's state
+  // before the first request lands (a loaded pattern is a hit, not a
+  // miss). Stale or mismatched files degrade to a cold build, silently.
+  if (!cli.state_dir.empty()) {
+    const SymbolicStoreReport loaded =
+        load_symbolic_state(pool.cache(), cli.state_dir);
+    std::cout << "state: loaded " << loaded.saved << " symbolic state(s)"
+              << " from " << cli.state_dir;
+    if (loaded.skipped_options + loaded.skipped_invalid > 0) {
+      std::cout << " (skipped " << loaded.skipped_options
+                << " option-mismatched, " << loaded.skipped_invalid
+                << " invalid)";
+    }
+    std::cout << "\n";
+  }
 
   Timer wall;
   std::vector<std::future<SolveOutcome>> futures;
@@ -403,14 +440,24 @@ int run_serve(const std::string& trace_path, const CliOptions& cli) {
   }
 
   long long rhs_columns = 0;
+  long long factor_hits = 0;
   std::vector<double> latencies;
   latencies.reserve(futures.size());
   for (std::future<SolveOutcome>& future : futures) {
     SolveOutcome outcome = future.get();
     rhs_columns += static_cast<long long>(outcome.solutions.size());
+    factor_hits += outcome.factor_hit ? 1 : 0;
     latencies.push_back(outcome.seconds);
   }
   const double wall_seconds = wall.elapsed_s();
+
+  // Persist the symbolic cache for the next run's warm restart.
+  if (!cli.state_dir.empty()) {
+    const SymbolicStoreReport saved =
+        save_symbolic_state(pool.cache(), cli.state_dir);
+    std::cout << "state: saved " << saved.saved << " symbolic state(s) to "
+              << cli.state_dir << "\n";
+  }
 
   std::sort(latencies.begin(), latencies.end());
   const auto percentile = [&](double p) {
@@ -436,7 +483,19 @@ int run_serve(const std::string& trace_path, const CliOptions& cli) {
                                        std::to_string(cache.misses) +
                                        " misses (" +
                                        std::to_string(cache.entries) +
-                                       " patterns)"});
+                                       " patterns, " +
+                                       std::to_string(cache.evictions) +
+                                       " evicted)"});
+  const NumericCache::Stats factors = pool.factor_cache_stats();
+  if (cli.factor_cache > 0) {
+    table.add_row({"factor cache", std::to_string(factors.hits) + " hits / " +
+                                       std::to_string(factors.misses) +
+                                       " misses (" +
+                                       std::to_string(factors.entries) +
+                                       " resident, " +
+                                       std::to_string(factors.evictions) +
+                                       " evicted)"});
+  }
   table.add_row({"factorizations", std::to_string(totals.factorizations)});
   table.add_row({"rhs solved", std::to_string(totals.rhs_solved)});
   std::cout << table.to_string();
@@ -446,7 +505,8 @@ int run_serve(const std::string& trace_path, const CliOptions& cli) {
                   {"trace", "requests", "rhs_columns", "pool_workers",
                    "wall_seconds", "solves_per_sec", "p50_ms", "p99_ms",
                    "cache_hits", "cache_misses", "cache_patterns",
-                   "factorizations", "rhs_solved"});
+                   "cache_evictions", "factor_hits", "factor_misses",
+                   "factor_evictions", "factorizations", "rhs_solved"});
     csv.write_row({trace_path,
                    CsvWriter::cell(static_cast<long long>(futures.size())),
                    CsvWriter::cell(rhs_columns),
@@ -457,6 +517,10 @@ int run_serve(const std::string& trace_path, const CliOptions& cli) {
                    CsvWriter::cell(percentile(0.99)),
                    CsvWriter::cell(cache.hits), CsvWriter::cell(cache.misses),
                    CsvWriter::cell(static_cast<long long>(cache.entries)),
+                   CsvWriter::cell(cache.evictions),
+                   CsvWriter::cell(factors.hits),
+                   CsvWriter::cell(factors.misses),
+                   CsvWriter::cell(factors.evictions),
                    CsvWriter::cell(static_cast<long long>(
                        totals.factorizations)),
                    CsvWriter::cell(static_cast<long long>(totals.rhs_solved))});
@@ -534,6 +598,20 @@ int main(int argc, char** argv) {
       } else if (std::strcmp(argv[i], "--repeat") == 0 && i + 1 < argc) {
         cli.repeat = static_cast<int>(
             parse_int_strict(argv[++i], 1, 1 << 20, "--repeat"));
+      } else if (std::strcmp(argv[i], "--cache-entries") == 0 && i + 1 < argc) {
+        cli.cache_entries = static_cast<std::size_t>(
+            parse_int_strict(argv[++i], 0, 1 << 30, "--cache-entries"));
+      } else if (std::strcmp(argv[i], "--cache-bytes") == 0 && i + 1 < argc) {
+        cli.cache_bytes = static_cast<std::size_t>(parse_int_strict(
+            argv[++i], 0, std::numeric_limits<long long>::max() / 2,
+            "--cache-bytes"));
+      } else if (std::strcmp(argv[i], "--factor-cache") == 0 && i + 1 < argc) {
+        cli.factor_cache = static_cast<std::size_t>(
+            parse_int_strict(argv[++i], 0, 1 << 30, "--factor-cache"));
+      } else if (std::strcmp(argv[i], "--promote-lone") == 0) {
+        cli.promote_lone = true;
+      } else if (std::strcmp(argv[i], "--state-dir") == 0 && i + 1 < argc) {
+        cli.state_dir = argv[++i];
       } else if (std::strcmp(argv[i], "--csv") == 0 && i + 1 < argc) {
         cli.csv_path = argv[++i];
       } else {

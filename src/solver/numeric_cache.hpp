@@ -1,0 +1,129 @@
+// NumericCache — skip factorize() when the *values* repeat too.
+//
+// The SymbolicCache amortizes the analyze+plan phase across requests that
+// share a sparsity pattern; this cache amortizes the numeric phase across
+// requests that share pattern AND values — time steps replayed after a
+// rollback, identical tenant meshes with identical coefficients, retry
+// storms. A hit hands back the shared, immutable CholeskyFactor and the
+// request goes straight to triangular solves.
+//
+// Keying: (pattern fingerprint, value fingerprint), both 64-bit FNV-1a.
+// Collisions cannot alias: every entry stores its defining value vector
+// and a lookup verifies bitwise equality before reporting a hit (the
+// comparison is one linear pass over nnz doubles — noise next to the
+// factorization it saves). The stored factor is exactly the one a cold
+// factorize would produce, so hits are bit-identical by construction.
+//
+// Memory: a resident factor is real memory, so each entry carries the
+// accounting charge (in modeled entries — the pool's Eq. 1 currency) its
+// owner acquired from the MemoryAccountant when inserting. The cache
+// itself never touches the accountant; the owner (SolverPool) acquires
+// before insert() and releases what evict_lru()/clear() report freed.
+// That keeps the cache lock innermost and free of lock-order cycles.
+// Entries are LRU-ordered and capped by max_entries; the pool also evicts
+// on demand when admission needs head-room (a cached factor is the
+// cheapest thing to drop — it can always be recomputed).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "multifrontal/numeric.hpp"
+#include "tree/tree.hpp"
+
+namespace treemem {
+
+/// 64-bit FNV-1a fingerprint over the values' IEEE-754 bit patterns (so
+/// +0.0 / -0.0 and NaN payloads are distinguished — bitwise identity is
+/// the only equality under which cached factors are exactly right).
+std::uint64_t value_fingerprint(const std::vector<double>& values);
+
+struct NumericCacheOptions {
+  /// Maximum resident factors; 0 disables the cache entirely (every
+  /// lookup misses, inserts are dropped).
+  std::size_t max_entries = 0;
+};
+
+class NumericCache {
+ public:
+  NumericCache() = default;
+  explicit NumericCache(NumericCacheOptions options) : options_(options) {}
+
+  NumericCache(const NumericCache&) = delete;
+  NumericCache& operator=(const NumericCache&) = delete;
+
+  /// The cached factor for (pattern_key, values), or null on a miss.
+  /// Verifies the defining values bitwise, so a fingerprint collision is
+  /// a miss, never a wrong factor. Touches the entry's LRU position.
+  std::shared_ptr<const CholeskyFactor> lookup(
+      std::uint64_t pattern_key, const std::vector<double>& values);
+
+  /// Caches `factor` under (pattern_key, values). `charge` is the
+  /// accounting weight the caller already acquired for this residency;
+  /// the cache stores it and reports it back when the entry is dropped.
+  /// Returns false (caller must release `charge`) when the cache is
+  /// disabled or the key is already present. May evict the LRU entry to
+  /// respect max_entries — freed charges are reported via
+  /// take_freed_charge() like any other eviction.
+  bool insert(std::uint64_t pattern_key, std::vector<double> values,
+              std::shared_ptr<const CholeskyFactor> factor, Weight charge);
+
+  /// Drops the least-recently-used factor and returns its charge (0 when
+  /// the cache is empty). The caller owns returning that charge to the
+  /// accountant — this is the admission-pressure valve in SolverPool.
+  Weight evict_lru();
+
+  /// Sum of charges freed by cap-triggered evictions inside insert()
+  /// since the last call (fetch-and-reset). Lets the owner return those
+  /// charges to the accountant without holding its lock across insert().
+  Weight take_freed_charge();
+
+  /// Drops everything and returns the total charge freed.
+  Weight clear();
+
+  struct Stats {
+    long long hits = 0;
+    long long misses = 0;
+    long long evictions = 0;
+    std::size_t entries = 0;
+    Weight resident_charge = 0;  ///< sum of live entries' charges
+  };
+  Stats stats() const;
+
+  const NumericCacheOptions& options() const { return options_; }
+  bool enabled() const { return options_.max_entries > 0; }
+
+ private:
+  struct Entry {
+    std::uint64_t pattern_key = 0;
+    std::uint64_t value_key = 0;
+    std::vector<double> values;  ///< defining values — collision-proof
+    std::shared_ptr<const CholeskyFactor> factor;
+    Weight charge = 0;
+    std::list<std::shared_ptr<Entry>>::iterator lru_pos;
+  };
+
+  static std::uint64_t bucket_key(std::uint64_t pattern_key,
+                                  std::uint64_t value_key);
+  /// Requires mutex_ held; returns the dropped entry's charge.
+  Weight evict_lru_locked();
+
+  NumericCacheOptions options_;
+  mutable std::mutex mutex_;
+  std::unordered_map<std::uint64_t, std::vector<std::shared_ptr<Entry>>>
+      entries_;
+  std::list<std::shared_ptr<Entry>> lru_;  ///< front = most recently used
+  std::size_t entry_count_ = 0;
+  Weight resident_charge_ = 0;
+  Weight freed_charge_ = 0;  ///< insert()-eviction charges awaiting pickup
+  std::atomic<long long> hits_{0};
+  std::atomic<long long> misses_{0};
+  std::atomic<long long> evictions_{0};
+};
+
+}  // namespace treemem

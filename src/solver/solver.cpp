@@ -172,7 +172,7 @@ Solver& Solver::analyze(const SparsePattern& pattern,
   postorder_cache_.reset();
   liu_cache_.reset();
   minmem_cache_.reset();
-  factor_ = CholeskyFactor{};
+  factor_.reset();
   phase_ = Phase::kAnalyzed;
 
   stats_ = SolverStats{};
@@ -381,7 +381,7 @@ Solver& Solver::plan(const PlanOptions& options) {
   plan_state->plan_seconds = timer.elapsed_s();
 
   plan_ = std::move(plan_state);
-  factor_ = CholeskyFactor{};
+  factor_.reset();
   phase_ = Phase::kPlanned;
 
   stats_.strategy = plan_->strategy;
@@ -413,7 +413,7 @@ Solver& Solver::adopt(SolverSymbolic symbolic) {
   postorder_cache_.reset();
   liu_cache_.reset();
   minmem_cache_.reset();
-  factor_ = CholeskyFactor{};
+  factor_.reset();
   phase_ = Phase::kPlanned;
 
   // Rebuild the analyze/plan reporting fields from the adopted snapshots;
@@ -524,7 +524,7 @@ Solver& Solver::factorize_permuted(const SymmetricMatrix& permuted,
     ParallelFactorResult run =
         factor_parallel(permuted, analysis_->assembly, parallel);
     if (run.feasible) {
-      factor_ = std::move(run.factor);
+      factor_ = std::make_shared<const CholeskyFactor>(std::move(run.factor));
       phase_ = Phase::kFactorized;
       stats_.engine = "parallel";
       stats_.kernel = to_string(options.kernel.kind);
@@ -561,14 +561,14 @@ Solver& Solver::factorize_permuted(const SymmetricMatrix& permuted,
     // The out-of-core engine does not count flops; the planned schedule
     // executes the same eliminations, so reuse the serial convention via
     // the factor itself (flops are reported as 0 when unknown).
-    factor_ = std::move(run.factor);
+    factor_ = std::make_shared<const CholeskyFactor>(std::move(run.factor));
     engine_name = "out-of-core";
   } else {
     MultifrontalResult run = multifrontal_cholesky(
         permuted, analysis_->assembly, plan_->bottom_up_order, options.kernel);
     measured_peak = run.peak_live_entries;
     flops = run.flops;
-    factor_ = std::move(run.factor);
+    factor_ = std::make_shared<const CholeskyFactor>(std::move(run.factor));
   }
   phase_ = Phase::kFactorized;
   stats_.engine = engine_name;
@@ -603,7 +603,7 @@ std::vector<double> Solver::solve(std::vector<double> rhs) const {
     permuted_rhs[k] = rhs[static_cast<std::size_t>(perm[k])];
   }
   const std::vector<double> y =
-      solve_with_factor(factor_, std::move(permuted_rhs));
+      solve_with_factor(*factor_, std::move(permuted_rhs));
   std::vector<double>& x = rhs;  // reuse the buffer
   for (std::size_t k = 0; k < n; ++k) {
     x[static_cast<std::size_t>(perm[k])] = y[k];
@@ -664,7 +664,38 @@ const IoSchedule& Solver::planned_io_schedule() const {
 
 const CholeskyFactor& Solver::factor() const {
   require_phase(Phase::kFactorized, "factor", "factorize()");
+  return *factor_;
+}
+
+std::shared_ptr<const CholeskyFactor> Solver::shared_factor() const {
+  require_phase(Phase::kFactorized, "shared_factor", "factorize()");
   return factor_;
+}
+
+Solver& Solver::adopt_factor(std::shared_ptr<const CholeskyFactor> factor) {
+  require_phase(Phase::kPlanned, "adopt_factor", "plan() (or adopt())");
+  TM_CHECK(factor != nullptr,
+           "Solver::adopt_factor: factor must be non-null (export it from a "
+           "factorized solver via shared_factor())");
+  TM_CHECK(factor->pattern.cols() == analysis_->permuted_pattern.cols(),
+           "Solver::adopt_factor: factor dimension "
+               << factor->pattern.cols() << " differs from the adopted "
+               << "pattern's " << analysis_->permuted_pattern.cols());
+  factor_ = std::move(factor);
+  phase_ = Phase::kFactorized;
+  // Reporting: no numeric work ran — engine "cached", zero time/flops.
+  // factorizations is deliberately NOT incremented; it counts factors
+  // actually computed, which is what the repeat-values bench compares.
+  stats_.engine = "cached";
+  stats_.admission.clear();
+  stats_.workers = 0;
+  stats_.flops = 0;
+  stats_.measured_peak_entries = 0;
+  stats_.modeled_peak_entries = 0;
+  stats_.factorize_seconds = 0.0;
+  stats_.parallel_speedup = 0.0;
+  stats_.stall_fallback = false;
+  return *this;
 }
 
 }  // namespace treemem

@@ -375,6 +375,21 @@ class Solver {
   /// The factor of P A Pᵀ (permuted ordering). Valid after factorize().
   const CholeskyFactor& factor() const;
 
+  // -- Shared numeric state (the factor cache's handle) ---------------------
+  /// The immutable factor backing this solver, shareable the same way the
+  /// symbolic state is: the NumericCache stores this handle per (pattern,
+  /// values) key and other solvers adopt_factor() it. Valid after
+  /// factorize().
+  std::shared_ptr<const CholeskyFactor> shared_factor() const;
+  /// Installs a factor computed elsewhere for this solver's symbolic
+  /// state, jumping straight to the factorized phase — solve() may be
+  /// called immediately, skipping factorize() entirely (the numeric-cache
+  /// fast path). Requires plan() (or adopt()); the factor must belong to
+  /// the adopted pattern — the cache guarantees that by keying on the
+  /// (pattern, values) fingerprints and verifying the defining values.
+  /// Reports engine "cached" and does not count a factorization.
+  Solver& adopt_factor(std::shared_ptr<const CholeskyFactor> factor);
+
  private:
   enum class Phase { kCreated, kAnalyzed, kPlanned, kFactorized };
 
@@ -430,8 +445,10 @@ class Solver {
   mutable std::optional<TraversalResult> liu_cache_;
   mutable std::optional<MinMemResult> minmem_cache_;
 
-  // factorize() products.
-  CholeskyFactor factor_;
+  // factorize() products. Behind shared_ptr<const> so the numeric-factor
+  // cache (solver/numeric_cache.hpp) can keep a factor alive after this
+  // solver moves on — same sharing contract as the symbolic state.
+  std::shared_ptr<const CholeskyFactor> factor_;
 
   SolverStats stats_;
   mutable SolveCounters solve_counters_;

@@ -22,6 +22,13 @@ SolverStats aggregate_solver_stats(const std::vector<SolverStats>& stats) {
         std::max(total.measured_peak_entries, s.measured_peak_entries);
     total.modeled_peak_entries =
         std::max(total.modeled_peak_entries, s.modeled_peak_entries);
+    // The plan-phase peaks aggregate by max too — dropping them reported
+    // "planned peak 0" at pool level even while admission was charging
+    // real plans against the budget.
+    total.planned_peak_entries =
+        std::max(total.planned_peak_entries, s.planned_peak_entries);
+    total.planned_parallel_peak =
+        std::max(total.planned_parallel_peak, s.planned_parallel_peak);
   }
   return total;
 }
@@ -29,7 +36,10 @@ SolverStats aggregate_solver_stats(const std::vector<SolverStats>& stats) {
 SolverPool::SolverPool(SolverPoolOptions options)
     : options_(std::move(options)),
       cache_(SymbolicCacheOptions{options_.solver.analyze,
-                                  options_.solver.plan}),
+                                  options_.solver.plan,
+                                  options_.cache_entries,
+                                  options_.cache_bytes}),
+      factor_cache_(NumericCacheOptions{options_.factor_cache_entries}),
       accountant_(options_.memory_budget) {
   TM_CHECK(options_.workers >= 0,
            "SolverPool: workers must be >= 0 (0 = default)");
@@ -89,6 +99,8 @@ void SolverPool::worker_loop(int id) {
       }
       job = std::move(queue_.front());
       queue_.pop_front();
+      ++active_jobs_;  // counted until the job finishes, so a lone job
+                       // can tell no sibling is mid-factorize
     }
     try {
       SolveOutcome outcome = run_job(solver, job.request);
@@ -96,11 +108,19 @@ void SolverPool::worker_loop(int id) {
         std::lock_guard<std::mutex> lock(stats_mutex_);
         worker_stats_[static_cast<std::size_t>(id)] = solver.stats();
       }
+      {
+        std::lock_guard<std::mutex> lock(queue_mutex_);
+        --active_jobs_;
+      }
       job.promise.set_value(std::move(outcome));
     } catch (...) {
       {
         std::lock_guard<std::mutex> lock(stats_mutex_);
         worker_stats_[static_cast<std::size_t>(id)] = solver.stats();
+      }
+      {
+        std::lock_guard<std::mutex> lock(queue_mutex_);
+        --active_jobs_;
       }
       job.promise.set_exception(std::current_exception());
     }
@@ -111,6 +131,45 @@ Weight SolverPool::admission_charge(Weight planned_peak) const {
   // Clamp to the budget so one oversized job runs alone (serialized by the
   // gate) instead of waiting forever for room that can never exist.
   return std::min(planned_peak, options_.memory_budget);
+}
+
+void SolverPool::acquire_memory(Weight charge) {
+  std::unique_lock<std::mutex> lock(memory_mutex_);
+  memory_cv_.wait(lock, [&] {
+    // Under pressure, drop cached factors before waiting: they hold real
+    // charge and can always be recomputed, so a job never queues behind
+    // memory that is merely a cache.
+    while (!accountant_.try_acquire(charge)) {
+      const Weight freed = factor_cache_.evict_lru();
+      if (freed == 0) {
+        return false;  // nothing evictable left — wait for a release
+      }
+      accountant_.adjust(-freed);
+    }
+    return true;
+  });
+}
+
+void SolverPool::release_memory(Weight charge) {
+  // Releases take the mutex so a waiter cannot miss the wakeup between
+  // its failed predicate check and blocking.
+  {
+    std::lock_guard<std::mutex> lock(memory_mutex_);
+    accountant_.adjust(-charge);
+  }
+  memory_cv_.notify_all();
+}
+
+bool SolverPool::try_acquire_for_cache(Weight charge) {
+  std::lock_guard<std::mutex> lock(memory_mutex_);
+  while (!accountant_.try_acquire(charge)) {
+    const Weight freed = factor_cache_.evict_lru();
+    if (freed == 0) {
+      return false;  // caching this factor would starve real jobs
+    }
+    accountant_.adjust(-freed);
+  }
+  return true;
 }
 
 SolveOutcome SolverPool::run_job(Solver& solver, SolveRequest& request) {
@@ -132,36 +191,76 @@ SolveOutcome SolverPool::run_job(Solver& solver, SolveRequest& request) {
     solver.adopt(scratch.symbolic());
   }
 
-  // Request-level parallelism is the pool's: demote kAuto to one serial
-  // worker per job (see the header).
+  // Numeric fast path: pattern AND values seen before — adopt the cached
+  // factor and go straight to solves. No admission gate: the resident
+  // factor is already charged, and no new memory is allocated.
+  const std::uint64_t pattern_key =
+      factor_cache_.enabled() ? pattern_fingerprint(pattern) : 0;
+  if (factor_cache_.enabled()) {
+    if (std::shared_ptr<const CholeskyFactor> cached =
+            factor_cache_.lookup(pattern_key, request.matrix.values())) {
+      solver.adopt_factor(std::move(cached));
+      outcome.factor_hit = true;
+      outcome.solutions = solver.solve(request.rhs);
+      outcome.seconds = timer.elapsed_s();
+      return outcome;
+    }
+  }
+
   FactorizeOptions factorize = options_.solver.factorize;
   if (factorize.engine == FactorizeEngine::kAuto) {
-    factorize.engine = FactorizeEngine::kSerial;
-    factorize.workers = 1;
+    bool promote = false;
+    if (options_.promote_lone_jobs && workers() > 1) {
+      std::lock_guard<std::mutex> lock(queue_mutex_);
+      promote = queue_.empty() && active_jobs_ == 1;
+    }
+    if (promote) {
+      // A lone job with idle siblings: keep kAuto with the pool's worker
+      // count, so Solver's own engine choice applies (parallel for
+      // in-core plans, serial for out-of-core ones).
+      factorize.workers = workers();
+    } else {
+      // Request-level parallelism is the pool's: demote kAuto to one
+      // serial worker per job (see the header).
+      factorize.engine = FactorizeEngine::kSerial;
+      factorize.workers = 1;
+    }
   }
 
   const Weight charge = admission_charge(solver.stats().planned_peak_entries);
-  {
-    std::unique_lock<std::mutex> lock(memory_mutex_);
-    memory_cv_.wait(lock, [&] { return accountant_.try_acquire(charge); });
-  }
-  // Releases take the mutex so a waiter cannot miss the wakeup between
-  // its failed predicate check and blocking.
-  const auto release = [&] {
-    {
-      std::lock_guard<std::mutex> lock(memory_mutex_);
-      accountant_.adjust(-charge);
-    }
-    memory_cv_.notify_all();
-  };
+  acquire_memory(charge);
   try {
     solver.factorize(request.matrix, factorize);
     outcome.solutions = solver.solve(request.rhs);
   } catch (...) {
-    release();
+    release_memory(charge);
     throw;
   }
-  release();
+  release_memory(charge);
+
+  // Cache the fresh factor for future (pattern, values) repeats, charged
+  // like any resident memory. Non-blocking: when even evicting every
+  // older cached factor cannot make room, skip caching rather than
+  // stalling the job (its result is already computed).
+  if (factor_cache_.enabled()) {
+    std::shared_ptr<const CholeskyFactor> factor = solver.shared_factor();
+    const Weight residency = admission_charge(
+        static_cast<Weight>(factor->values.size()));
+    if (try_acquire_for_cache(residency)) {
+      const bool inserted = factor_cache_.insert(
+          pattern_key, request.matrix.values(), std::move(factor), residency);
+      // insert() may itself have evicted (max_entries); and a racing
+      // duplicate insert returns false — either way, hand the freed
+      // charge back to the accountant.
+      Weight freed = factor_cache_.take_freed_charge();
+      if (!inserted) {
+        freed += residency;
+      }
+      if (freed > 0) {
+        release_memory(freed);
+      }
+    }
+  }
 
   outcome.seconds = timer.elapsed_s();
   return outcome;

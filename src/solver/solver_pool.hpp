@@ -21,7 +21,21 @@
 // workers, so a job's factorize defaults to the serial engine on one
 // thread (kAuto would grab every core per job and oversubscribe W-fold).
 // An explicit FactorizeEngine::kParallel in the pool options is honored
-// for deliberate hybrid setups.
+// for deliberate hybrid setups. With `promote_lone_jobs`, a job that
+// finds the service otherwise idle (empty queue, no sibling in flight)
+// keeps kAuto with the pool's full worker count instead — a lone big job
+// borrows the idle threads for factor_parallel rather than leaving W-1
+// cores dark. The gate is queue depth at dequeue time, so a busy service
+// never oversubscribes.
+//
+// Numeric-factor cache: with `factor_cache_entries > 0` the pool also
+// caches the CholeskyFactor keyed by (pattern fingerprint, value
+// fingerprint). A request repeating both pattern AND values skips
+// factorize entirely and goes straight to triangular solves
+// (SolveOutcome::factor_hit). Resident factors are charged against the
+// same MemoryAccountant as in-flight jobs (charge = factor nnz, the
+// Eq. 1 currency), and admission under pressure evicts cached factors
+// first — they are the only memory the service can always recompute.
 //
 // The `use_cache = false` mode re-runs the full symbolic phase for every
 // request — the cold-analyze baseline bench/solver_service.cpp compares
@@ -38,6 +52,7 @@
 #include <vector>
 
 #include "parallel/schedule_core.hpp"
+#include "solver/numeric_cache.hpp"
 #include "solver/solver.hpp"
 #include "solver/symbolic_cache.hpp"
 #include "sparse/matrix.hpp"
@@ -63,6 +78,16 @@ struct SolverPoolOptions {
   /// Pool-wide budget on the sum of in-flight plans' modeled peaks
   /// (entries, Eq. 1 accounting). kInfiniteWeight = no admission gate.
   Weight memory_budget = kInfiniteWeight;
+  /// LRU caps forwarded to the SymbolicCache (0 = unbounded): bound the
+  /// symbolic state a service under pattern churn keeps resident.
+  std::size_t cache_entries = 0;
+  std::size_t cache_bytes = 0;
+  /// Resident-factor cap of the numeric cache; 0 (default) disables it.
+  std::size_t factor_cache_entries = 0;
+  /// Promote a lone job (empty queue, nothing else in flight) to the
+  /// parallel engine with the pool's worker count. Off by default: the
+  /// steady-state service assumption is request-level parallelism.
+  bool promote_lone_jobs = false;
 };
 
 /// One unit of service: factorize `matrix`, then solve every column of
@@ -75,6 +100,7 @@ struct SolveRequest {
 struct SolveOutcome {
   std::vector<std::vector<double>> solutions;  ///< one per rhs column
   bool cache_hit = false;   ///< symbolic state came from the cache
+  bool factor_hit = false;  ///< numeric factor came from the cache too
   double seconds = 0.0;     ///< service time (symbolic+factorize+solves)
 };
 
@@ -102,6 +128,9 @@ class SolverPool {
   int workers() const { return static_cast<int>(threads_.size()); }
   SymbolicCache& cache() { return cache_; }
   SymbolicCache::Stats cache_stats() const { return cache_.stats(); }
+  NumericCache::Stats factor_cache_stats() const {
+    return factor_cache_.stats();
+  }
 
   /// Stats snapshot of each worker's Solver as of its last completed job
   /// (index = worker id). Race-free regardless of in-flight work.
@@ -118,14 +147,23 @@ class SolverPool {
   void worker_loop(int id);
   SolveOutcome run_job(Solver& solver, SolveRequest& request);
   Weight admission_charge(Weight planned_peak) const;
+  /// Blocks until `charge` fits the accountant, evicting cached factors
+  /// under pressure (they free real charge and are always recomputable).
+  void acquire_memory(Weight charge);
+  void release_memory(Weight charge);
+  /// Non-blocking: room for a factor's cache residency, made by evicting
+  /// older cached factors if needed. False = don't cache this one.
+  bool try_acquire_for_cache(Weight charge);
 
   SolverPoolOptions options_;
   SymbolicCache cache_;
+  NumericCache factor_cache_;
 
   std::mutex queue_mutex_;
   std::condition_variable queue_cv_;
   std::deque<Job> queue_;
   bool stopping_ = false;
+  int active_jobs_ = 0;  ///< dequeued, not yet finished (queue_mutex_)
 
   MemoryAccountant accountant_;
   std::mutex memory_mutex_;
