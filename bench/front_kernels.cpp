@@ -12,7 +12,11 @@
 //
 // TREEMEM_SCALE ≥ 2 adds larger fronts (the regime where cache blocking
 // and intra-front parallelism pay); the parallel kernel's worker count
-// honors TREEMEM_THREADS via default_thread_count.
+// honors TREEMEM_THREADS via default_thread_count. Parallel-tiled cells
+// are measured twice — leasing from the persistent worker pool (the
+// production dispatch) and on the legacy per-panel fork/join path — so the
+// "leased/fork" column isolates what retiring per-panel thread births buys
+// at each front size.
 #include <cmath>
 #include <iomanip>
 #include <iostream>
@@ -60,10 +64,11 @@ int run() {
       "parallel-tiled, GFLOP/s");
 
   CsvWriter csv(bench::output_dir() + "/front_kernels.csv",
-                {"kernel", "block_size", "workers", "m", "eta", "seconds",
-                 "gflops", "bit_identical_to_scalar"});
+                {"kernel", "block_size", "workers", "dispatch", "m", "eta",
+                 "seconds", "gflops", "bit_identical_to_scalar"});
   TextTable table({"m", "eta", "scalar GF/s", "best blocked GF/s (nb)",
-                   "best parallel GF/s (nb)", "blocked speedup"});
+                   "best parallel GF/s (nb)", "blocked speedup",
+                   "leased/fork"});
 
   const unsigned workers = default_thread_count();
   for (const std::size_t m : sizes) {
@@ -85,11 +90,15 @@ int run() {
           config.kind = kind;
           config.block_size = nb;
           if (kind == KernelKind::kParallelTiled) {
-            // Force the fork/join path on every panel: these cells must
+            // Force the parallel path on every panel: these cells must
             // measure intra-front parallelism (including its overhead on
             // fronts below the production gate), not silently re-measure
             // the blocked kernel, or the CSV's workers column would lie.
             config.min_parallel_volume = 0;
+            // Same tiles, both dispatchers: leased from the persistent
+            // pool, then the legacy per-panel fork/join.
+            cells.push_back({config, 0.0, 0, false});
+            config.fork_join = true;
           }
           cells.push_back({config, 0.0, 0, false});
         }
@@ -97,7 +106,7 @@ int run() {
 
       const int reps = m >= 512 ? 1 : 3;
       double scalar_gflops = 1e-12;
-      double best_blocked = 0.0, best_parallel = 0.0;
+      double best_blocked = 0.0, best_parallel = 0.0, best_forkjoin = 0.0;
       std::size_t best_blocked_nb = 0, best_parallel_nb = 0;
       for (Cell& cell : cells) {
         const auto kernel = make_front_kernel(cell.config);
@@ -130,16 +139,18 @@ int run() {
             best_blocked = gflops;
             best_blocked_nb = cell.config.block_size;
           }
+        } else if (cell.config.fork_join) {
+          best_forkjoin = std::max(best_forkjoin, gflops);
         } else if (gflops > best_parallel) {
           best_parallel = gflops;
           best_parallel_nb = cell.config.block_size;
         }
+        const bool tiled = cell.config.kind == KernelKind::kParallelTiled;
         csv.write_row(
             {to_string(cell.config.kind),
              CsvWriter::cell(static_cast<long long>(cell.config.block_size)),
-             CsvWriter::cell(static_cast<long long>(
-                 cell.config.kind == KernelKind::kParallelTiled ? workers
-                                                                : 1)),
+             CsvWriter::cell(static_cast<long long>(tiled ? workers : 1)),
+             !tiled ? "serial" : cell.config.fork_join ? "forkjoin" : "leased",
              CsvWriter::cell(static_cast<long long>(m)),
              CsvWriter::cell(static_cast<long long>(eta)),
              CsvWriter::cell(cell.seconds), CsvWriter::cell(gflops),
@@ -151,7 +162,9 @@ int run() {
                          std::to_string(best_blocked_nb) + ")",
                      fmt(best_parallel) + " (" +
                          std::to_string(best_parallel_nb) + ")",
-                     fmt(best_blocked / scalar_gflops) + "x"});
+                     fmt(best_blocked / scalar_gflops) + "x",
+                     fmt(best_parallel / std::max(best_forkjoin, 1e-12)) +
+                         "x"});
     }
   }
 
@@ -163,8 +176,11 @@ int run() {
                "kernel adds intra-front threads on top for the largest\n"
                "fronts (workers = " +
                    std::to_string(workers) +
-                   " here). Blocked results are checked\n"
-                   "bit-identical to the scalar reference on every cell.\n";
+                   " here). The leased/fork column is the\n"
+                   "leased-dispatch GF/s over the per-panel fork/join GF/s\n"
+                   "for the best parallel cell — the persistent pool's win\n"
+                   "per panel. Blocked results are checked bit-identical\n"
+                   "to the scalar reference on every cell.\n";
   std::cout << "raw data: " << csv.path() << "\n";
   return 0;
 }

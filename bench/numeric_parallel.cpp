@@ -19,19 +19,31 @@
 // must stay within its residual contract. The sweep's block size follows
 // TREEMEM_KERNEL (e.g. TREEMEM_KERNEL=blocked:64 resizes the panels
 // without recompiling); intra-front workers follow TREEMEM_THREADS.
+//
+// Two additions chart what the persistent worker pool buys: a per-instance
+// leased-vs-fork/join dispatch shootout (same parallel-tiled panels at
+// w = 4, only the dispatch mechanism differs — the "pool/fork w=4" column
+// is the fork/join time over the leased time), and a standalone
+// fork-overhead microbench printed at the end (per-round cost of waking
+// the parked crew vs birthing threads, outside any factorization).
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <iomanip>
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <thread>
 
 #include "bench_common.hpp"
 #include "dense/spd_front.hpp"
 #include "multifrontal/numeric.hpp"
+#include "parallel/worker_pool.hpp"
 #include "solver/solver.hpp"
 #include "support/csv.hpp"
+#include "support/parallel_for.hpp"
 #include "support/text_table.hpp"
+#include "support/timer.hpp"
 
 namespace {
 
@@ -67,13 +79,14 @@ int run() {
 
   CsvWriter csv(bench::output_dir() + "/numeric_parallel.csv",
                 {"instance", "n", "tree_nodes", "kernel", "block_size",
-                 "workers", "mode", "admission", "memory_budget", "feasible",
-                 "serial_seconds", "parallel_seconds", "speedup_vs_serial",
-                 "measured_peak", "modeled_peak", "flops"});
+                 "workers", "mode", "runtime", "admission", "memory_budget",
+                 "feasible", "serial_seconds", "parallel_seconds",
+                 "speedup_vs_serial", "measured_peak", "modeled_peak",
+                 "flops"});
 
   TextTable table({"instance", "n", "serial s", "scalar w=8 s",
                    "blocked w=8 s", "parallel w=8 s", "best speedup",
-                   "capped greedy", "capped la"});
+                   "pool/fork w=4", "capped greedy", "capped la"});
 
   // "Largest" for the root-front check means the most factorization work
   // (dense flops), not the widest matrix — a huge narrow-band instance has
@@ -157,14 +170,15 @@ int run() {
       const auto write_row = [&](const KernelConfig& kernel, int workers,
                                  const char* mode_label,
                                  AdmissionPolicy admission, Weight budget,
-                                 const RunSample& run, double speedup) {
+                                 const RunSample& run, double speedup,
+                                 const char* runtime = "leased") {
         csv.write_row(
             {name, CsvWriter::cell(static_cast<long long>(n)),
              CsvWriter::cell(static_cast<long long>(tree.size())),
              to_string(kernel.kind),
              CsvWriter::cell(static_cast<long long>(kernel.block_size)),
              CsvWriter::cell(static_cast<long long>(workers)), mode_label,
-             to_string(admission),
+             runtime, to_string(admission),
              budget == kInfiniteWeight ? std::string("inf")
                                        : std::to_string(budget),
              run.feasible ? "1" : "0", CsvWriter::cell(serial_seconds),
@@ -179,13 +193,15 @@ int run() {
       // smoothed over by the serial fallback).
       const auto parallel_run = [&](const KernelConfig& kernel, int workers,
                                     AdmissionPolicy admission =
-                                        AdmissionPolicy::kGreedy) {
+                                        AdmissionPolicy::kGreedy,
+                                    bool lease_idle = true) {
         FactorizeOptions run_options;
         run_options.engine = FactorizeEngine::kParallel;
         run_options.workers = workers;
         run_options.kernel = kernel;
         run_options.admission = admission;
         run_options.allow_serial_fallback = false;
+        run_options.lease_idle_workers = lease_idle;
         RunSample sample;
         try {
           solver.factorize(values, run_options);
@@ -276,6 +292,38 @@ int run() {
         best_speedup = std::max(best_speedup, speedup);
       }
 
+      // Leased vs fork/join dispatch at w = 4: identical parallel-tiled
+      // panels and tiles, only the dispatch mechanism differs — the
+      // persistent pool wakes its parked crew, the legacy path births a
+      // thread per tile crew per panel. Min-of-3, interleaved. The ratio
+      // cell is fork/join time over leased time (> 1 means the pool wins).
+      KernelConfig forkjoin_kernel = kernels[2];
+      forkjoin_kernel.fork_join = true;
+      RunSample best_leased, best_forkjoin;
+      for (int rep = 0; rep < 3; ++rep) {
+        const RunSample leased = parallel_run(kernels[2], 4);
+        const RunSample forked = parallel_run(
+            forkjoin_kernel, 4, AdmissionPolicy::kGreedy,
+            /*lease_idle=*/false);
+        TM_CHECK(leased.feasible && forked.feasible,
+                 "unbounded w=4 dispatch shootout must be feasible");
+        if (rep == 0 || leased.seconds < best_leased.seconds) {
+          best_leased = leased;
+        }
+        if (rep == 0 || forked.seconds < best_forkjoin.seconds) {
+          best_forkjoin = forked;
+        }
+      }
+      write_row(kernels[2], 4, "dispatch", AdmissionPolicy::kGreedy,
+                kInfiniteWeight, best_leased,
+                serial_seconds / std::max(best_leased.seconds, 1e-12));
+      write_row(forkjoin_kernel, 4, "dispatch", AdmissionPolicy::kGreedy,
+                kInfiniteWeight, best_forkjoin,
+                serial_seconds / std::max(best_forkjoin.seconds, 1e-12),
+                "forkjoin");
+      const double dispatch_ratio =
+          best_forkjoin.seconds / std::max(best_leased.seconds, 1e-12);
+
       if (serial_flops > largest_flops) {
         largest_flops = serial_flops;
         largest_name = name;
@@ -285,11 +333,52 @@ int run() {
       table.add_row({name, std::to_string(n), fmt(serial_seconds, 3),
                      fmt(w8_seconds[0], 3), fmt(w8_seconds[1], 3),
                      fmt(w8_seconds[2], 3), fmt(best_speedup),
-                     capped_greedy_cell, capped_lookahead_cell});
+                     fmt(dispatch_ratio) + "x", capped_greedy_cell,
+                     capped_lookahead_cell});
     }
   }
 
   std::cout << table.to_string();
+
+  // Fork-overhead microbench, outside any factorization: per-round cost
+  // of waking a parked 4-worker crew for an 8-tile loop vs spawning the
+  // same crew as fresh threads. The pool spawns its 4 threads once, ever;
+  // the fork/join path births 4 per round — the per-panel cost every
+  // trailing update used to pay.
+  {
+    constexpr unsigned kCrew = 4;
+    constexpr int kRounds = 32;
+    constexpr std::size_t kTiles = 8;
+    std::atomic<long long> sink{0};
+    const auto tiny_body = [&](std::size_t i) {
+      sink.fetch_add(static_cast<long long>(i) + 1,
+                     std::memory_order_relaxed);
+    };
+    WorkerPool pool(kCrew);
+    Timer leased_wall;
+    for (int round = 0; round < kRounds; ++round) {
+      while (pool.idle_workers() != kCrew) {
+        std::this_thread::yield();
+      }
+      pool.try_lease(kCrew - 1).run(kTiles, tiny_body);
+    }
+    const double leased_us = leased_wall.elapsed_s() * 1e6 / kRounds;
+    const long long births_before = forkjoin_threads_spawned();
+    Timer forkjoin_wall;
+    for (int round = 0; round < kRounds; ++round) {
+      forkjoin_parallel_for(kTiles, tiny_body, kCrew);
+    }
+    const double forkjoin_us = forkjoin_wall.elapsed_s() * 1e6 / kRounds;
+    const long long births = forkjoin_threads_spawned() - births_before;
+    std::cout << "\nfork-overhead microbench (8-tile loop, crew of "
+              << kCrew << "): leased " << fmt(leased_us, 1)
+              << " us/round vs fork/join " << fmt(forkjoin_us, 1)
+              << " us/round (" << fmt(forkjoin_us / std::max(leased_us, 1e-9))
+              << "x); thread births: " << pool.stats().threads_spawned
+              << " once vs " << births << " across " << kRounds
+              << " rounds\n";
+  }
+
   std::cout << "\nroot-front check (largest instance, " << largest_name
             << "): parallel-tiled w=8 " << fmt(largest_parallel_w8, 3)
             << " s vs scalar w=8 " << fmt(largest_scalar_w8, 3) << " s — "
@@ -297,7 +386,7 @@ int run() {
                    std::max(largest_parallel_w8, 1e-12))
             << "x\n";
   std::cout << "\nreading: every instance is analyzed once and factorized "
-               "~30 times through the\nfacade's reuse path — every kernel "
+               "~35 times through the\nfacade's reuse path — every kernel "
                "reproduces the serial factor (scalar/blocked\nbit for bit, "
                "parallel-tiled within its residual contract) at every "
                "worker count,\nwhile the engine's measured live entries "

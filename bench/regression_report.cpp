@@ -1,4 +1,4 @@
-// regression_report — the machine-readable bench gate (BENCH_8.json).
+// regression_report — the machine-readable bench gate (BENCH_9.json).
 //
 // Emits one JSON report for CI to diff against the checked-in
 // bench/baseline.json (bench/check_regression.py):
@@ -19,27 +19,50 @@
 //     a warm restart from a persisted state dir (the warm run must report
 //     zero symbolic misses), and a repeat-values trace through the
 //     numeric-factor cache (cached/refactorize solves-per-sec must clear
-//     the 1.5x floor).
+//     the 1.5x floor);
+//   * the worker-pool fork-overhead microbench: a private 4-worker pool
+//     serves 64 lease/run rounds — its threads_spawned/leases_granted/
+//     leases_denied counters are exact (gated exactly) — against the same
+//     loop on the legacy fork/join path, whose thread-birth count shows
+//     the per-panel spawn cost the persistent pool retired (~64x fewer
+//     births here, unbounded as panels grow); per-dispatch wall-clock is
+//     reported but only warned on;
+//   * the tree x front scaling sweep: factor_parallel with the leased
+//     runtime (persistent pool + elastic crewing) vs the PR 8
+//     configuration (held crew + fork/join kernel dispatch) at w in
+//     {1, 2, 4} on the two largest corpus instances, min-of-3 interleaved,
+//     plus a root-front-dominated instance at w = 4 with elastic crewing
+//     on vs off — the case where idle tree-level workers get absorbed by
+//     the root front's trailing updates.
 //
 // Unlike the other benches this report IGNORES TREEMEM_SCALE: the corpus
 // is pinned at scale 1.0 so the numbers are comparable across runs and
 // machines (the stall counts and simulated speedups are then exactly
 // reproducible). TREEMEM_OUT still picks the output directory.
+#include <algorithm>
+#include <atomic>
 #include <filesystem>
 #include <iomanip>
 #include <iostream>
 #include <fstream>
+#include <limits>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench_common.hpp"
 #include "core/minmem.hpp"
+#include "multifrontal/numeric_parallel.hpp"
 #include "parallel/parallel_sim.hpp"
+#include "parallel/worker_pool.hpp"
 #include "perf/corpus.hpp"
 #include "perf/traffic.hpp"
 #include "solver/solver_pool.hpp"
 #include "solver/symbolic_store.hpp"
+#include "sparse/generators.hpp"
+#include "support/parallel_for.hpp"
+#include "support/prng.hpp"
 #include "support/timer.hpp"
 
 namespace {
@@ -107,7 +130,7 @@ double service_solves_per_sec(const ServiceTrace& trace, bool use_cache) {
 int run() {
   bench::print_header(
       "regression report — admission stalls, simulated speedups, service "
-      "throughput (BENCH_8.json)");
+      "throughput, worker-pool counters, scaling sweep (BENCH_9.json)");
 
   // Scale pinned: this report must mean the same thing on every machine.
   const auto instances = build_numeric_instances(CorpusOptions{}, 5);
@@ -118,7 +141,7 @@ int run() {
 
   std::ostringstream json;
   json << "{\n";
-  json << "  \"schema\": \"treemem-bench-8\",\n";
+  json << "  \"schema\": \"treemem-bench-9\",\n";
   json << "  \"budget_rule\": \"max(1.5*minmem_peak, max_mem_req)\",\n";
   json << "  \"speedup_workers\": 4,\n";
   json << "  \"instances\": [\n";
@@ -260,12 +283,168 @@ int run() {
        << num(factor_cached.solves_per_sec) << ", \"cached_over_refactor\": "
        << num(repeat_ratio) << ", \"factor_hits\": "
        << factor_cached.factors.hits << "}\n";
-  json << "  }\n";
+  json << "  },\n";
   std::cout << "repeat values: factor_hits=" << factor_cached.factors.hits
             << " cached/refactor=" << num(repeat_ratio) << "\n";
+
+  // --- Worker-pool fork-overhead microbench ------------------------------
+  // A private pool keeps the counters machine-independent: 64 lease/run
+  // rounds against a 4-worker pool spawn exactly 4 threads, ever; the same
+  // 64 loops on the legacy fork/join path birth 4 threads *per round*.
+  // The spin between rounds waits for the previous crew to park so every
+  // round's try_lease finds the full pool — that makes leases_granted/
+  // leases_denied exact, and the checker gates all five counters exactly.
+  // The per-round wall-clock pair is reported but only warned on.
+  {
+    constexpr unsigned kPoolSize = 4;
+    constexpr int kRounds = 64;
+    constexpr std::size_t kTiles = 8;
+    std::atomic<long long> sink{0};
+    const auto tiny_body = [&](std::size_t i) {
+      sink.fetch_add(static_cast<long long>(i) + 1,
+                     std::memory_order_relaxed);
+    };
+    WorkerPool microbench_pool(kPoolSize);
+    Timer leased_wall;
+    for (int round = 0; round < kRounds; ++round) {
+      while (microbench_pool.idle_workers() != kPoolSize) {
+        std::this_thread::yield();
+      }
+      microbench_pool.try_lease(kPoolSize - 1).run(kTiles, tiny_body);
+    }
+    const double leased_us = leased_wall.elapsed_s() * 1e6 / kRounds;
+    const WorkerPoolStats pool_stats = microbench_pool.stats();
+
+    const long long births_before = forkjoin_threads_spawned();
+    Timer forkjoin_wall;
+    for (int round = 0; round < kRounds; ++round) {
+      forkjoin_parallel_for(kTiles, tiny_body, kPoolSize);
+    }
+    const double forkjoin_us = forkjoin_wall.elapsed_s() * 1e6 / kRounds;
+    const long long forkjoin_births =
+        forkjoin_threads_spawned() - births_before;
+    const double birth_ratio =
+        pool_stats.threads_spawned > 0
+            ? static_cast<double>(forkjoin_births) /
+                  static_cast<double>(pool_stats.threads_spawned)
+            : 0.0;
+    json << "  \"worker_pool\": {\"pool_size\": " << kPoolSize
+         << ", \"rounds\": " << kRounds
+         << ", \"threads_spawned\": " << pool_stats.threads_spawned
+         << ", \"leases_granted\": " << pool_stats.leases_granted
+         << ", \"leases_denied\": " << pool_stats.leases_denied
+         << ", \"workers_leased\": " << pool_stats.workers_leased
+         << ", \"forkjoin_births\": " << forkjoin_births
+         << ", \"birth_ratio\": " << num(birth_ratio)
+         << ", \"leased_round_us\": " << num(leased_us)
+         << ", \"forkjoin_round_us\": " << num(forkjoin_us) << "},\n";
+    std::cout << "worker pool: spawned=" << pool_stats.threads_spawned
+              << " forkjoin_births=" << forkjoin_births << " (x"
+              << num(birth_ratio) << " births retired); leased_round="
+              << num(leased_us) << "us forkjoin_round=" << num(forkjoin_us)
+              << "us\n";
+  }
+
+  // --- Tree x front scaling sweep ----------------------------------------
+  // Leased runtime (persistent pool + elastic crewing, the new defaults)
+  // vs the PR 8 shape (held crew + per-panel fork/join dispatch behind the
+  // old 8 Mflop gate) on the two largest corpus instances. Wall-clock,
+  // hence min-of-3 interleaved; the checker warns below 1.0x and fails
+  // only on a real loss — leasing must never lose to thread spawning.
+  json << "  \"scaling\": {\n";
+  json << "    \"instances\": [\n";
+  const std::size_t first_scaled =
+      instances.size() > 2 ? instances.size() - 2 : 0;
+  constexpr int kScaleWorkers[] = {1, 2, 4};
+  for (std::size_t i = first_scaled; i < instances.size(); ++i) {
+    const NumericInstance& instance = instances[i];
+    json << "      {\"name\": \"" << instance.name << "\", \"workers\": {";
+    bool first_cell = true;
+    for (const int workers : kScaleWorkers) {
+      ParallelFactorOptions leased;
+      leased.workers = workers;
+      leased.kernel.kind = KernelKind::kParallelTiled;
+      ParallelFactorOptions forkjoin = leased;
+      forkjoin.lease_idle_workers = false;
+      forkjoin.kernel.fork_join = true;
+      forkjoin.kernel.min_parallel_volume = 1u << 22;  // the PR 8 gate
+      double leased_s = std::numeric_limits<double>::max();
+      double forkjoin_s = std::numeric_limits<double>::max();
+      for (int rep = 0; rep < 3; ++rep) {
+        const ParallelFactorResult a =
+            factor_parallel(instance.matrix, instance.assembly, leased);
+        const ParallelFactorResult b =
+            factor_parallel(instance.matrix, instance.assembly, forkjoin);
+        leased_s = std::min(leased_s, a.factor_seconds);
+        forkjoin_s = std::min(forkjoin_s, b.factor_seconds);
+      }
+      const double speed_ratio = leased_s > 0.0 ? forkjoin_s / leased_s : 0.0;
+      json << (first_cell ? "" : ", ") << "\"w" << workers
+           << "\": {\"leased_s\": " << num(leased_s)
+           << ", \"forkjoin_s\": " << num(forkjoin_s)
+           << ", \"ratio\": " << num(speed_ratio) << "}";
+      first_cell = false;
+      std::cout << "scaling " << instance.name << " w=" << workers
+                << ": leased=" << num(leased_s * 1e3) << "ms forkjoin="
+                << num(forkjoin_s * 1e3) << "ms ratio=" << num(speed_ratio)
+                << "\n";
+    }
+    json << "}}" << (i + 1 < instances.size() ? ",\n" : "\n");
+  }
+  json << "    ],\n";
+
+  // Root-front-dominated case: heavy amalgamation concentrates the flops
+  // in a few large fronts, so most of the tree-level crew has nothing to
+  // do — the shape where elastic crewing pays, because idle workers return
+  // to the pool and the root front's trailing-update leases absorb them.
+  // With the crew held (lease_idle_workers=false) those leases find nobody
+  // idle and run inline; the attempt count (granted + denied) is schedule-
+  // determined and gated exactly, the granted/denied split is timing-
+  // dependent and reported for the record.
+  {
+    Prng prng(9001);
+    const SparsePattern raw =
+        symmetrize(gen::random_symmetric(160, 8.0, prng));
+    const NumericInstance root_inst = build_numeric_instance(
+        {"root-front", raw}, OrderingKind::kMinDegree, 8, 9001);
+    ParallelFactorOptions elastic;
+    elastic.workers = 4;
+    elastic.kernel.kind = KernelKind::kParallelTiled;
+    elastic.kernel.block_size = 8;           // several tiles per root panel
+    elastic.kernel.min_parallel_volume = 0;  // every panel leases
+    ParallelFactorOptions held = elastic;
+    held.lease_idle_workers = false;
+    double elastic_s = std::numeric_limits<double>::max();
+    double held_s = std::numeric_limits<double>::max();
+    long long attempts = 0;
+    long long granted = 0;
+    for (int rep = 0; rep < 3; ++rep) {
+      const ParallelFactorResult e =
+          factor_parallel(root_inst.matrix, root_inst.assembly, elastic);
+      const ParallelFactorResult h =
+          factor_parallel(root_inst.matrix, root_inst.assembly, held);
+      if (e.factor_seconds < elastic_s) {
+        elastic_s = e.factor_seconds;
+        attempts = e.leases_granted + e.lease_denied;
+        granted = e.leases_granted;
+      }
+      held_s = std::min(held_s, h.factor_seconds);
+    }
+    const double root_ratio = elastic_s > 0.0 ? held_s / elastic_s : 0.0;
+    json << "    \"root_front\": {\"elastic_s\": " << num(elastic_s)
+         << ", \"held_s\": " << num(held_s)
+         << ", \"ratio\": " << num(root_ratio)
+         << ", \"lease_attempts\": " << attempts
+         << ", \"leases_granted\": " << granted << "}\n";
+    std::cout << "root front: elastic=" << num(elastic_s * 1e3)
+              << "ms held=" << num(held_s * 1e3) << "ms ratio="
+              << num(root_ratio) << " lease_attempts=" << attempts
+              << " granted=" << granted << "\n";
+  }
+  json << "  }\n";
   json << "}\n";
 
-  const std::string path = bench::output_dir() + "/BENCH_8.json";
+  const std::string path = bench::output_dir() + "/BENCH_9.json";
   std::ofstream out(path);
   out << json.str();
   out.close();

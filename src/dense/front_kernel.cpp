@@ -185,9 +185,11 @@ std::unique_ptr<const FrontKernel> make_front_kernel(
       return detail::make_scalar_kernel();
     case KernelKind::kBlocked:
       return detail::make_blocked_kernel(nb);
-    case KernelKind::kParallelTiled:
-      return detail::make_parallel_tiled_kernel(nb, config.workers,
-                                                config.min_parallel_volume);
+    case KernelKind::kParallelTiled: {
+      KernelConfig clamped = config;
+      clamped.block_size = nb;
+      return detail::make_parallel_tiled_kernel(clamped);
+    }
   }
   TM_CHECK(false, "make_front_kernel: unknown kernel kind");
   return nullptr;  // unreachable

@@ -15,10 +15,15 @@
 //                     trailing matrix is streamed once per panel instead of
 //                     once per pivot;
 //   * parallel      — the blocked kernel with the trailing update split
-//                     into column tiles dispatched over parallel_for
-//                     (support/parallel_for.hpp), giving the large root
-//                     fronts — the serial tail of tree-level scheduling —
-//                     intra-front parallelism.
+//                     into column tiles run on workers *leased* from the
+//                     persistent pool (parallel/worker_pool.hpp): a panel
+//                     that clears the volume gate claims whatever workers
+//                     are idle right now — typically the tree-level
+//                     executor's, near the root where its frontier has
+//                     collapsed — and returns them at panel end. The lease
+//                     never blocks and never spawns a thread; when nobody
+//                     is idle the panel runs inline and the denial is
+//                     counted (lease_stats / SolverStats::lease_denied).
 //
 // Exactness contract: every kernel applies, to every entry, exactly the
 // scalar reference's update sequence — per entry (r, c) the pivot updates
@@ -44,6 +49,8 @@
 
 namespace treemem {
 
+class WorkerPool;
+
 enum class KernelKind {
   kScalar,        ///< right-looking scalar reference (panel width 1)
   kBlocked,       ///< cache-blocked panels, serial trailing update
@@ -66,18 +73,31 @@ struct KernelConfig {
   /// sweep (front_kernels.csv) and raise this per run via
   /// SolverOptions::factorize.kernel or TREEMEM_KERNEL=blocked:<nb>.
   std::size_t block_size = 16;
-  /// Worker threads for the parallel kernel's trailing updates; 0 defers
-  /// to default_thread_count() (which honors TREEMEM_THREADS).
+  /// Maximum parallel width (calling thread included) of the parallel
+  /// kernel's trailing updates; 0 defers to the pool's size (which
+  /// resolved TREEMEM_THREADS once, at pool construction).
   unsigned workers = 0;
   /// Minimum trailing-update volume (multiply-subtract pairs) before the
-  /// parallel kernel pays for a fork/join; below it the update runs on the
-  /// serial core. The default (~8 Mflop, several ms of work) keeps the
-  /// per-panel thread-spawn cost under a few percent even when cores are
-  /// oversubscribed; in practice only large root-front panels clear it —
-  /// exactly where tree-level concurrency has run out. 0 forces forking on
-  /// every panel (tests/TSan coverage of the threaded path on small
+  /// parallel kernel requests a lease; below it the update runs on the
+  /// serial core. Leasing costs a mutex claim + condvar wake (~µs), not a
+  /// thread spawn (~100 µs), so the gate sits at 2^19 pairs (~1 Mflop) —
+  /// 8× below the fork/join era's ~8 Mflop — letting mid-tree fronts
+  /// parallelize too. The gate is no longer the only guard: a lease that
+  /// finds zero idle workers runs the panel inline (never blocks) and counts
+  /// lease_denied in lease_stats()/SolverStats. 0 forces a lease request
+  /// on every panel (tests/TSan coverage of the leased path on small
   /// fronts).
-  std::size_t min_parallel_volume = 1u << 22;
+  std::size_t min_parallel_volume = 1u << 19;
+  /// Worker source for the parallel kernel's leases; nullptr = the
+  /// process-wide WorkerPool::instance(). Tests and the bench microbench
+  /// pass private pools for deterministic counters.
+  WorkerPool* pool = nullptr;
+  /// Legacy dispatch: fork/join fresh std::threads per panel
+  /// (forkjoin_parallel_for) instead of leasing — the pre-pool behavior,
+  /// kept ONLY so bench/front_kernels and the scaling sweep can measure
+  /// leased-vs-fork/join on identical tile math. Never enable on a
+  /// production path.
+  bool fork_join = false;
 };
 
 /// Parses a kernel spec — `scalar`, `blocked` or `parallel`, optionally
@@ -93,9 +113,19 @@ KernelConfig parse_kernel_spec(const std::string& spec, KernelConfig base = {});
 /// benches and tests select kernels without recompiling.
 KernelConfig kernel_config_from_env(KernelConfig base = {});
 
+/// Per-kernel lease observability: how often trailing updates that cleared
+/// the volume gate actually got pool workers, and how often they found
+/// none idle and ran inline. One kernel instance serves one factorization
+/// (FrontalEngine owns it), so these counters are per-run.
+struct KernelLeaseStats {
+  long long leases_granted = 0;
+  long long leases_denied = 0;
+};
+
 /// The pluggable dense kernel. Instances are immutable and thread-safe:
 /// one kernel is shared by every worker of a parallel factorization, and
-/// all state lives in the caller's front buffer.
+/// all numeric state lives in the caller's front buffer (the parallel
+/// kernel keeps only atomic lease tallies).
 ///
 /// The front is a dense column-major m×m buffer (leading dimension m); only
 /// the lower triangle is read or written.
@@ -136,6 +166,10 @@ class FrontKernel {
   virtual void extend_add(double* front, std::size_t m,
                           const Index* front_pos, const Index* cb_rows,
                           std::size_t cm, const double* cb_values) const;
+
+  /// Lease grant/denial tallies of this kernel instance; all zeros for the
+  /// serial kernels (only the parallel kernel leases).
+  virtual KernelLeaseStats lease_stats() const { return {}; }
 
  protected:
   /// Panel width the partial_factor driver steps by (>= 1).

@@ -22,8 +22,9 @@ long long update_column_range(double* front, std::size_t m, std::size_t k0,
 
 std::unique_ptr<const FrontKernel> make_scalar_kernel();
 std::unique_ptr<const FrontKernel> make_blocked_kernel(std::size_t block_size);
+/// Takes the full config: beyond block_size/workers/min_parallel_volume it
+/// reads the lease source (config.pool) and the legacy fork_join toggle.
 std::unique_ptr<const FrontKernel> make_parallel_tiled_kernel(
-    std::size_t block_size, unsigned workers,
-    std::size_t min_parallel_volume);
+    const KernelConfig& config);
 
 }  // namespace treemem::detail

@@ -1,7 +1,9 @@
 #include <algorithm>
+#include <atomic>
 #include <vector>
 
 #include "dense/kernel_detail.hpp"
+#include "parallel/worker_pool.hpp"
 #include "support/parallel_for.hpp"
 
 namespace treemem::detail {
@@ -9,24 +11,31 @@ namespace treemem::detail {
 namespace {
 
 /// The blocked kernel with the trailing update fanned out over column
-/// tiles via parallel_for — intra-front parallelism for the large root
-/// fronts whose serial elimination caps tree-level speedup. Tiles write
-/// disjoint column ranges and read only the (finalized, pre-fork) panel
-/// columns, so the update is race-free, and each tile runs the same serial
-/// core in the same order, so the result is independent of the tile
-/// schedule (and today bit-identical to the scalar reference; the
-/// documented contract is only residual-bounded, leaving room for
-/// reassociating variants).
+/// tiles on workers leased from the persistent pool — intra-front
+/// parallelism for the large root fronts whose serial elimination caps
+/// tree-level speedup. Tiles write disjoint column ranges and read only
+/// the (finalized, pre-lease) panel columns, so the update is race-free,
+/// and each tile runs the same serial core in the same order, so the
+/// result is independent of the tile schedule — and of how many workers
+/// the lease actually got, including zero (and today bit-identical to the
+/// scalar reference; the documented contract is only residual-bounded,
+/// leaving room for reassociating variants).
+///
+/// Leasing is non-blocking by design: a panel that clears the volume gate
+/// asks the pool for idle workers and simply runs inline when there are
+/// none (counted in lease_stats().leases_denied) — a front can never
+/// deadlock against the tree-level executor that owns the workers.
 class ParallelTiledKernel final : public FrontKernel {
  public:
-  ParallelTiledKernel(std::size_t block_size, unsigned workers,
-                      std::size_t min_parallel_volume)
-      // Resolve the TREEMEM_THREADS/hardware default once: trailing_update
-      // runs per panel, and a getenv + sched_getaffinity syscall there is
-      // measurable across the thousands of small fronts of a sparse tree.
-      : block_size_(block_size),
-        workers_(workers == 0 ? default_thread_count() : workers),
-        min_parallel_volume_(min_parallel_volume) {}
+  explicit ParallelTiledKernel(const KernelConfig& config)
+      // Resolve every knob once at construction: trailing_update runs per
+      // panel, and the pool lookup / environment resolution do not belong
+      // on that path (the pool itself resolved TREEMEM_THREADS once).
+      : block_size_(config.block_size),
+        pool_(config.pool != nullptr ? config.pool : &WorkerPool::instance()),
+        workers_(config.workers == 0 ? pool_->size() : config.workers),
+        min_parallel_volume_(config.min_parallel_volume),
+        fork_join_(config.fork_join) {}
 
   const char* name() const override { return "parallel"; }
   KernelKind kind() const override { return KernelKind::kParallelTiled; }
@@ -36,10 +45,11 @@ class ParallelTiledKernel final : public FrontKernel {
     const std::size_t c_begin = k0 + nb;
     const std::size_t cols = m - c_begin;
     const std::size_t tiles = (cols + block_size_ - 1) / block_size_;
-    // Fork/join costs a few thread spawns per panel; only pay it when the
-    // update is big enough to amortize them. The triangular trailing block
-    // holds cols·(cols+1)/2 entries, each receiving up to nb
-    // multiply-subtract pairs — the unit min_parallel_volume is counted in.
+    // Even a lease costs a mutex claim and a few condvar wakes per panel;
+    // only pay when the update amortizes them. The triangular trailing
+    // block holds cols·(cols+1)/2 entries, each receiving up to nb
+    // multiply-subtract pairs — the unit min_parallel_volume is counted
+    // in.
     const bool too_small =
         nb * (cols * (cols + 1) / 2) < min_parallel_volume_;
     if (workers_ <= 1 || tiles < 2 || too_small) {
@@ -48,14 +58,32 @@ class ParallelTiledKernel final : public FrontKernel {
     // Per-tile flop slots instead of an atomic: deterministic and
     // contention-free.
     std::vector<long long> tile_flops(tiles, 0);
-    parallel_for(
-        tiles,
-        [&](std::size_t t) {
-          const std::size_t c0 = c_begin + t * block_size_;
-          const std::size_t c1 = std::min(m, c0 + block_size_);
-          tile_flops[t] = update_column_range(front, m, k0, nb, c0, c1);
-        },
-        std::min<unsigned>(workers_, static_cast<unsigned>(tiles)));
+    const auto tile_body = [&](std::size_t t) {
+      const std::size_t c0 = c_begin + t * block_size_;
+      const std::size_t c1 = std::min(m, c0 + block_size_);
+      tile_flops[t] = update_column_range(front, m, k0, nb, c0, c1);
+    };
+    if (fork_join_) {
+      // Legacy dispatch, kept for the leased-vs-fork/join benches: fresh
+      // std::threads per panel (the calling thread does not participate).
+      forkjoin_parallel_for(
+          tiles, tile_body,
+          std::min<unsigned>(workers_, static_cast<unsigned>(tiles)));
+    } else {
+      // The calling thread is always one participant, so a width-w update
+      // needs w-1 leased helpers; tiles-1 caps the useful lease size. An
+      // empty lease (nobody idle right now — the tree level is using
+      // them) runs the panel inline via the same run() contract.
+      const unsigned max_helpers = std::min<unsigned>(
+          workers_ - 1, static_cast<unsigned>(tiles - 1));
+      WorkerLease lease = pool_->try_lease(max_helpers);
+      if (lease.empty()) {
+        leases_denied_.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        leases_granted_.fetch_add(1, std::memory_order_relaxed);
+      }
+      lease.run(tiles, tile_body);
+    }
     long long flops = 0;
     for (const long long f : tile_flops) {
       flops += f;
@@ -63,22 +91,33 @@ class ParallelTiledKernel final : public FrontKernel {
     return flops;
   }
 
+  KernelLeaseStats lease_stats() const override {
+    KernelLeaseStats stats;
+    stats.leases_granted = leases_granted_.load(std::memory_order_relaxed);
+    stats.leases_denied = leases_denied_.load(std::memory_order_relaxed);
+    return stats;
+  }
+
  protected:
   std::size_t panel_width() const override { return block_size_; }
 
  private:
   std::size_t block_size_;
+  WorkerPool* pool_;
   unsigned workers_;
   std::size_t min_parallel_volume_;
+  bool fork_join_;
+  // Tallies, not synchronization: mutable because trailing_update is
+  // const (the kernel is numerically stateless and stays shareable).
+  mutable std::atomic<long long> leases_granted_{0};
+  mutable std::atomic<long long> leases_denied_{0};
 };
 
 }  // namespace
 
 std::unique_ptr<const FrontKernel> make_parallel_tiled_kernel(
-    std::size_t block_size, unsigned workers,
-    std::size_t min_parallel_volume) {
-  return std::make_unique<ParallelTiledKernel>(block_size, workers,
-                                               min_parallel_volume);
+    const KernelConfig& config) {
+  return std::make_unique<ParallelTiledKernel>(config);
 }
 
 }  // namespace treemem::detail

@@ -150,6 +150,13 @@ class FrontalEngine {
   /// Total floating-point operations of the dense eliminations so far.
   long long flops() const { return flops_.load(std::memory_order_relaxed); }
 
+  /// The kernel's lease grant/denial tallies for this engine's run (all
+  /// zeros for the serial kernels — only the parallel kernel leases pool
+  /// workers for its trailing updates).
+  KernelLeaseStats kernel_lease_stats() const {
+    return kernel_->lease_stats();
+  }
+
   /// The factor (valid once every supernode was processed). take_factor
   /// moves it out and leaves the engine empty.
   const CholeskyFactor& factor() const { return factor_; }

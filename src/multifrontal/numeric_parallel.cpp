@@ -61,6 +61,12 @@ ParallelFactorResult factor_parallel(const SymmetricMatrix& matrix,
   exec_options.priority = options.priority;
   exec_options.admission = options.admission;
   exec_options.serial_witness = options.serial_witness;
+  exec_options.lease_idle_workers = options.lease_idle_workers;
+  // Tree level and front level draw from the same pool: whichever pool
+  // the kernel leases from is the one the executor recruits stints from
+  // (tests pass a private pool through the kernel config for
+  // deterministic counters).
+  exec_options.pool = options.kernel.pool;
 
   const ExecutorResult run = execute_task_tree(
       assembly.tree, exec_options, durations, [&](NodeId node) {
@@ -82,6 +88,9 @@ ParallelFactorResult factor_parallel(const SymmetricMatrix& matrix,
   result.factor_seconds = run.makespan;
   result.speedup = run.speedup;
   result.completion_order = run.completion_order;
+  const KernelLeaseStats lease_stats = engine.kernel_lease_stats();
+  result.leases_granted = lease_stats.leases_granted;
+  result.lease_denied = lease_stats.leases_denied;
   if (!run.feasible) {
     return result;  // factor left empty: the run did not complete
   }

@@ -54,6 +54,14 @@ struct ParallelFactorOptions {
   /// Solver facade does this — names every member in a designated
   /// initializer so this default is never evaluated.
   KernelConfig kernel = kernel_config_from_env();
+  /// Elastic crewing (ExecutorOptions::lease_idle_workers): tree-level
+  /// workers with no ready front return to the persistent pool mid-run,
+  /// where a large front's trailing-update lease can absorb them — the
+  /// root-front case lone-job promotion (PR 8) could only approximate
+  /// from outside the run. Off = the pre-pool behavior (the full crew is
+  /// held for the whole run), kept for the scaling sweep's comparison.
+  /// The factor is bit-identical either way (schedule-exact numerics).
+  bool lease_idle_workers = true;
 };
 
 struct ParallelFactorResult {
@@ -75,6 +83,11 @@ struct ParallelFactorResult {
   double speedup = 0.0;
   /// Supernodes in completion order — a valid bottom-up traversal.
   Traversal completion_order;
+  /// Intra-front lease tallies of the run's kernel: panels that cleared
+  /// the volume gate and got pool workers / found none idle and ran
+  /// inline. Both 0 under the serial kernels.
+  long long leases_granted = 0;
+  long long lease_denied = 0;
   /// Measured occupancy at each front's allocation instant / right after
   /// each front's release, in completion order. On w = 1 these are the
   /// serial stepwise memory profiles (and live_after_step.back() == 0).

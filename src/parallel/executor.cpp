@@ -5,8 +5,8 @@
 #include <condition_variable>
 #include <exception>
 #include <mutex>
-#include <thread>
 
+#include "parallel/worker_pool.hpp"
 #include "support/timer.hpp"
 
 namespace treemem {
@@ -58,25 +58,65 @@ ExecutorResult execute_task_tree(const Tree& tree,
     return result;
   }
 
+  WorkerPool& pool = options.pool != nullptr ? *options.pool
+                                             : WorkerPool::instance();
+  // More workers than tasks would only park idle threads; the calling
+  // thread (the anchor, worker id 0) is part of the crew, so at most
+  // target-1 pool workers are ever recruited.
+  const int target = static_cast<int>(std::min<std::size_t>(
+      static_cast<std::size_t>(options.workers), p));
+
   // Scheduler state. Every ScheduleCore call happens under `mutex`; workers
   // drop it only while a payload runs.
   std::mutex mutex;
   std::condition_variable ready_cv;
+  std::condition_variable helpers_cv;  ///< anchor waits for stints to drain
   int in_flight = 0;     ///< tasks between try_start() and finish()
+  int helpers = 0;       ///< recruited stints currently active
   bool aborted = false;  ///< stall detected or a payload threw
   std::exception_ptr first_error;
   std::vector<TaskInterval> gantt(p);
   Traversal completion_order;
   completion_order.reserve(p);
   double total_busy = 0.0;
+  // Gantt worker ids for recruited stints: 1..target-1, reused as stints
+  // end and new ones are recruited (the anchor is always id 0).
+  std::vector<int> free_ids;
+  free_ids.reserve(static_cast<std::size_t>(target > 0 ? target - 1 : 0));
+  for (int id = target - 1; id >= 1; --id) {
+    free_ids.push_back(id);
+  }
   Timer run_timer;
 
-  auto worker_loop = [&](int worker_id) {
-    std::unique_lock<std::mutex> lock(mutex);
-    while (true) {
-      if (aborted || core.done()) {
+  // Declared as std::function so maybe_recruit (below) can hand the stint
+  // to the pool from inside worker_loop (mutual reference).
+  std::function<void()> stint;
+
+  auto worker_loop = [&](bool anchor, std::unique_lock<std::mutex>& lock) {
+    TM_ASSERT(anchor || !free_ids.empty(),
+              "more concurrent stints than crew ids");
+    const int worker_id = anchor ? 0 : free_ids.back();
+    if (!anchor) {
+      free_ids.pop_back();
+    }
+
+    // Elastic mode only: recruit pool workers while the schedule shows
+    // admissible ready work this stint cannot absorb alone. Called under
+    // `lock` at every point new ready work may have appeared.
+    auto maybe_recruit = [&] {
+      if (!options.lease_idle_workers) {
         return;
       }
+      while (!aborted && !core.done() && helpers + 1 < target &&
+             core.has_ready()) {
+        if (pool.try_dispatch(1, stint) == 0) {
+          break;  // nobody idle — the tree makes do with its current crew
+        }
+        ++helpers;
+      }
+    };
+
+    while (!aborted && !core.done()) {
       const NodeId node = core.try_start();
       if (node == kNoNode) {
         if (in_flight == 0) {
@@ -85,14 +125,22 @@ ExecutorResult execute_task_tree(const Tree& tree,
           // greedy schedule is stuck (the simulator's memory deadlock).
           aborted = true;
           ready_cv.notify_all();
-          return;
+          break;
+        }
+        if (!anchor && options.lease_idle_workers) {
+          // Elastic stint end: return to the pool instead of parking —
+          // an intra-front lease may have better use for this worker.
+          // maybe_recruit() re-recruits when new work readies.
+          break;
         }
         ready_cv.wait(lock);
         continue;
       }
       ++in_flight;
+      maybe_recruit();  // more admissible tasks may still be ready
       lock.unlock();
       const double start_s = run_timer.elapsed_s();
+      bool threw = false;
       try {
         if (body) {
           body(node);
@@ -108,7 +156,10 @@ ExecutorResult execute_task_tree(const Tree& tree,
         aborted = true;
         --in_flight;
         ready_cv.notify_all();
-        return;
+        threw = true;
+      }
+      if (threw) {
+        break;
       }
       const double finish_s = run_timer.elapsed_s();
       lock.lock();
@@ -121,19 +172,42 @@ ExecutorResult execute_task_tree(const Tree& tree,
       // Wake everyone: the freed memory / new ready parent may unblock any
       // subset of the waiters.
       ready_cv.notify_all();
+      maybe_recruit();
+    }
+
+    if (!anchor) {
+      free_ids.push_back(worker_id);
+      if (--helpers == 0) {
+        helpers_cv.notify_all();
+      }
     }
   };
 
-  // More workers than tasks would only park idle threads on the condvar.
-  const int workers = static_cast<int>(std::min<std::size_t>(
-      static_cast<std::size_t>(options.workers), p));
-  std::vector<std::thread> threads;
-  threads.reserve(static_cast<std::size_t>(workers));
-  for (int w = 0; w < workers; ++w) {
-    threads.emplace_back(worker_loop, w);
-  }
-  for (auto& thread : threads) {
-    thread.join();
+  stint = [&] {
+    std::unique_lock<std::mutex> lock(mutex);
+    worker_loop(false, lock);
+  };
+
+  {
+    std::unique_lock<std::mutex> lock(mutex);
+    if (options.lease_idle_workers) {
+      // Elastic: recruit for the initially-ready leaves; completions
+      // re-recruit as the frontier widens.
+      while (helpers + 1 < target && core.has_ready() &&
+             pool.try_dispatch(1, stint) == 1) {
+        ++helpers;
+      }
+    } else if (target > 1) {
+      // Fixed crew: claim the whole complement up front; idle members park
+      // on ready_cv until the run ends. A busy pool may yield fewer — the
+      // run still completes (the anchor guarantees progress).
+      helpers = static_cast<int>(
+          pool.try_dispatch(static_cast<unsigned>(target - 1), stint));
+    }
+    // The calling thread anchors the run: worker id 0, never leaves, so
+    // the executor completes even with zero pool workers available.
+    worker_loop(true, lock);
+    helpers_cv.wait(lock, [&] { return helpers == 0; });
   }
   if (first_error) {
     std::rethrow_exception(first_error);

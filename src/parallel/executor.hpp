@@ -5,10 +5,19 @@
 // a task is ready when all its children finished; while it runs it holds the
 // Eq. 1 transient (children files + n_i + f_i); admission is gated on the
 // shared budget M; ready tasks are tried in priority order, skipping those
-// that do not currently fit. The difference is the clock: `w` worker threads
+// that do not currently fit. The difference is the clock: up to `w` workers
 // pull tasks from a condvar-guarded ready queue and run real payloads, so
 // makespan/speedup are *measured*, not modeled, while the memory accounting
 // stays exact (an atomic accountant of modeled bytes).
+//
+// Since the persistent runtime (parallel/worker_pool.hpp) the executor
+// spawns no threads: the calling thread anchors the run and the rest of
+// the crew is recruited from the process-wide WorkerPool for whole
+// scheduling stints. Under ExecutorOptions::lease_idle_workers (default) a
+// recruited worker whose try_start finds nothing ready returns to the pool
+// mid-run instead of parking — so a large root front's trailing-update
+// lease can absorb exactly the workers tree-level scheduling has left
+// idle — and is re-recruited when a completion readies new work.
 //
 // The primary mode is a real TaskBody payload: the flagship is the
 // parallel numeric multifrontal engine (factor_parallel in
@@ -42,6 +51,8 @@
 
 namespace treemem {
 
+class WorkerPool;
+
 /// Per-task payload, invoked on a worker thread. Must be thread-safe across
 /// distinct nodes (two bodies never run concurrently for the same node; a
 /// node's body runs strictly after all its children's bodies returned).
@@ -65,6 +76,19 @@ struct ExecutorOptions {
   /// duration unit (seconds); zero = tasks complete instantly. Real runs
   /// (factor_parallel, bench payloads) pass a TaskBody and leave this 0.
   double spin_seconds_per_unit = 0.0;
+  /// Elastic crewing (default): a recruited worker that finds no ready
+  /// task ends its stint and returns to the worker pool — where an
+  /// intra-front lease (a large root front's trailing update) can pick it
+  /// up — and is re-recruited the moment scheduling frees new ready work.
+  /// When false the executor claims its full crew up front and parks idle
+  /// workers on its own condvar for the whole run (the pre-pool behavior,
+  /// kept as the scaling sweep's comparison configuration).
+  bool lease_idle_workers = true;
+  /// Worker source; nullptr = the process-wide WorkerPool::instance().
+  /// The calling thread always anchors the run (guaranteed progress even
+  /// when the pool has nothing idle), so a run needs zero pool workers to
+  /// complete — it just runs serially.
+  WorkerPool* pool = nullptr;
 };
 
 struct ExecutorResult {

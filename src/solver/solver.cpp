@@ -420,8 +420,12 @@ Solver& Solver::adopt(SolverSymbolic symbolic) {
   // keep the cumulative service counters (factorizations + the atomic
   // solve counters) so a pooled solver accumulates lifetime totals.
   const int factorizations = stats_.factorizations;
+  const long long leases_granted = stats_.leases_granted;
+  const long long lease_denied = stats_.lease_denied;
   stats_ = SolverStats{};
   stats_.factorizations = factorizations;
+  stats_.leases_granted = leases_granted;
+  stats_.lease_denied = lease_denied;
   stats_.n = analysis_->pattern.cols();
   stats_.pattern_nnz = analysis_->pattern.nnz();
   stats_.factor_nnz = analysis_->factor_nnz;
@@ -520,7 +524,8 @@ Solver& Solver::factorize_permuted(const SymmetricMatrix& permuted,
         .priority = options.priority,
         .admission = options.admission,
         .serial_witness = plan_->bottom_up_order,
-        .kernel = options.kernel};
+        .kernel = options.kernel,
+        .lease_idle_workers = options.lease_idle_workers};
     ParallelFactorResult run =
         factor_parallel(permuted, analysis_->assembly, parallel);
     if (run.feasible) {
@@ -536,6 +541,8 @@ Solver& Solver::factorize_permuted(const SymmetricMatrix& permuted,
       stats_.factorize_seconds = timer.elapsed_s();
       stats_.parallel_speedup = run.speedup;
       stats_.stall_fallback = false;
+      stats_.leases_granted += run.leases_granted;
+      stats_.lease_denied += run.lease_denied;
       ++stats_.factorizations;
       return *this;
     }

@@ -153,6 +153,13 @@ struct FactorizeOptions {
   /// across engines). When false, a stall throws, so benches can observe
   /// and report it.
   bool allow_serial_fallback = true;
+  /// Elastic crewing of the parallel engine (see
+  /// ParallelFactorOptions::lease_idle_workers): tree-level workers idle
+  /// at the schedule frontier return to the persistent pool, where a
+  /// large root front's trailing-update lease absorbs them. The factor is
+  /// bit-identical either way; off reproduces the pre-pool held-crew
+  /// behavior (the scaling sweep's comparison configuration).
+  bool lease_idle_workers = true;
 };
 
 /// The one configuration aggregate: one member per phase. Construct a
@@ -183,7 +190,9 @@ class SolverStallError : public Error {
 ///                       (applied to plan *and* factorize admission)
 ///   TREEMEM_KERNEL    = scalar|blocked|parallel[:<block size>]
 /// (TREEMEM_THREADS keeps steering intra-front workers and the
-/// workers == 0 default through default_thread_count().)
+/// workers == 0 default — now resolved exactly once, when the process-wide
+/// WorkerPool is constructed; TREEMEM_AFFINITY=1 pins pool workers to
+/// cores, read once at pool construction too.)
 SolverOptions solver_options_from_env(SolverOptions base = {});
 
 /// Everything the run reported: modeled vs measured memory, flops, fill,
@@ -227,6 +236,14 @@ struct SolverStats {
   double parallel_speedup = 0.0;
   /// True when a stalled parallel schedule fell back to the serial engine.
   bool stall_fallback = false;
+  /// Parallel runs with the parallel-tiled kernel: trailing-update panels
+  /// that cleared the volume gate and leased pool workers / found none
+  /// idle and ran inline. Makes the volume gate's cost observable — a
+  /// high denial rate means the tree level never leaves workers idle and
+  /// intra-front parallelism is not paying. Cumulative since analyze(),
+  /// like factorizations.
+  long long leases_granted = 0;
+  long long lease_denied = 0;
 
   // solve (cumulative since analyze)
   int rhs_solved = 0;

@@ -18,6 +18,8 @@ SolverStats aggregate_solver_stats(const std::vector<SolverStats>& stats) {
     total.factorizations += s.factorizations;
     total.rhs_solved += s.rhs_solved;
     total.flops += s.flops;
+    total.leases_granted += s.leases_granted;
+    total.lease_denied += s.lease_denied;
     total.measured_peak_entries =
         std::max(total.measured_peak_entries, s.measured_peak_entries);
     total.modeled_peak_entries =

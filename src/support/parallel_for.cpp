@@ -8,9 +8,16 @@
 #include <thread>
 #include <vector>
 
+#include "parallel/worker_pool.hpp"
 #include "support/env.hpp"
 
 namespace treemem {
+
+namespace {
+
+std::atomic<long long> forkjoin_births{0};
+
+}  // namespace
 
 unsigned default_thread_count() {
   // Strict parse through support/env.hpp: a malformed TREEMEM_THREADS
@@ -32,15 +39,49 @@ void parallel_for(std::size_t count,
   if (count == 0) {
     return;
   }
-  if (num_threads == 0) {
-    num_threads = default_thread_count();
+  // The pool resolved TREEMEM_THREADS once at construction; num_threads==0
+  // defers to that size instead of re-reading the environment per call.
+  unsigned width = num_threads;
+  if (width == 0) {
+    width = WorkerPool::instance().size();
+  }
+  if (width > count) {
+    width = static_cast<unsigned>(count);
+  }
+  if (width <= 1) {
+    // Inline path: every index executes exactly once on the calling thread
+    // and the first exception is rethrown at the end.
+    std::exception_ptr inline_error;
+    for (std::size_t i = 0; i < count; ++i) {
+      try {
+        body(i);
+      } catch (...) {
+        if (!inline_error) {
+          inline_error = std::current_exception();
+        }
+      }
+    }
+    if (inline_error) {
+      std::rethrow_exception(inline_error);
+    }
+    return;
+  }
+  // Lease (never spawn, never block): the calling thread participates, so
+  // width w needs w-1 helpers. An empty lease — nobody idle — degrades to
+  // the inline loop inside run(), same contract.
+  WorkerPool::instance().try_lease(width - 1).run(count, body);
+}
+
+void forkjoin_parallel_for(std::size_t count,
+                           const std::function<void(std::size_t)>& body,
+                           unsigned num_threads) {
+  if (count == 0) {
+    return;
   }
   if (num_threads > count) {
     num_threads = static_cast<unsigned>(count);
   }
   if (num_threads <= 1) {
-    // Same contract as the threaded path: every index executes exactly once
-    // on the calling thread and the first exception is rethrown at the end.
     std::exception_ptr inline_error;
     for (std::size_t i = 0; i < count; ++i) {
       try {
@@ -83,12 +124,18 @@ void parallel_for(std::size_t count,
   for (unsigned t = 0; t < num_threads; ++t) {
     threads.emplace_back(worker);
   }
+  forkjoin_births.fetch_add(static_cast<long long>(num_threads),
+                            std::memory_order_relaxed);
   for (auto& thread : threads) {
     thread.join();
   }
   if (first_error) {
     std::rethrow_exception(first_error);
   }
+}
+
+long long forkjoin_threads_spawned() {
+  return forkjoin_births.load(std::memory_order_relaxed);
 }
 
 }  // namespace treemem

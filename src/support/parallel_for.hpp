@@ -1,15 +1,26 @@
-// Minimal work-stealing-free parallel loop for the experiment harness.
+// Parallel loop facade over the persistent worker pool.
 //
-// The traversal algorithms themselves are inherently sequential (they build
-// one global order), but the evaluation runs hundreds of independent
-// (tree, algorithm, memory-budget) cases — an embarrassingly parallel outer
-// loop. This helper distributes loop indices over a pool of std::threads
-// with dynamic (atomic counter) scheduling, because per-case costs vary by
-// orders of magnitude across the corpus.
+// parallel_for keeps its original contract — body(i) for every i in
+// [0, count), every index exactly once even if bodies throw, first
+// exception rethrown after all participants drained, no execution-order
+// guarantee — but no longer creates threads: it leases idle workers from
+// the process-wide WorkerPool (parallel/worker_pool.hpp), runs the loop
+// with the calling thread participating, and returns the workers when the
+// loop ends. When no worker is idle (or num_threads <= 1) the loop runs
+// inline on the calling thread, same contract — parallel_for never blocks
+// waiting for capacity.
+//
+// Migration note: before the pool, every call re-read TREEMEM_THREADS and
+// hardware_concurrency() and spawned fresh std::threads (a fork/join per
+// call). The environment is now resolved exactly once, when the pool is
+// constructed, and the steady state performs zero thread births. The old
+// fork/join loop survives only as forkjoin_parallel_for — the measured
+// baseline for the fork-overhead microbench — and must not be used on any
+// hot path.
 //
 // Determinism: the body must write its results into per-index slots
-// (e.g. results[i]); the helper guarantees each index is executed exactly
-// once but not in any particular order.
+// (e.g. results[i]); each index executes exactly once but in no particular
+// order.
 #pragma once
 
 #include <cstddef>
@@ -17,20 +28,40 @@
 
 namespace treemem {
 
-/// Executes body(i) for every i in [0, count). If num_threads <= 1 (or the
-/// machine is single-core) the loop runs inline on the calling thread.
-/// Both paths share one contract: every index executes exactly once even if
-/// some bodies throw, and the first exception is rethrown at the end (after
-/// all threads joined, in the threaded case).
+/// Executes body(i) for every i in [0, count). num_threads is the desired
+/// total parallel width (calling thread included); 0 means the pool's
+/// size. If the width resolves to <= 1 — or no pool worker is idle — the
+/// loop runs inline on the calling thread. Both paths share one contract:
+/// every index executes exactly once even if some bodies throw, and the
+/// first exception is rethrown at the end (after all leased workers
+/// drained, in the leased case).
 void parallel_for(std::size_t count, const std::function<void(std::size_t)>& body,
                   unsigned num_threads = 0);
 
-/// Number of worker threads parallel_for would use for `num_threads == 0`:
-/// the TREEMEM_THREADS environment variable (a positive integer, capped at
+/// Number of workers parallel_for targets for `num_threads == 0`: the
+/// TREEMEM_THREADS environment variable (a positive integer, capped at
 /// 1024; handy for reproducible timing runs) when set, otherwise the
 /// hardware concurrency (at least 1). Parsed strictly through
 /// support/env.hpp: a malformed value throws treemem::Error instead of
-/// silently changing the thread count mid-experiment.
+/// silently changing the thread count mid-experiment. The process-wide
+/// WorkerPool is sized by this value exactly once, at first use.
 unsigned default_thread_count();
+
+/// The pre-pool implementation: spawns min(num_threads, count) fresh
+/// std::threads per call and joins them (the calling thread does not
+/// participate). Same index/exception contract as parallel_for. Kept ONLY
+/// as the comparison baseline for the fork-overhead microbench and the
+/// front_kernels leased-vs-fork/join column — production code leases from
+/// the pool instead. num_threads must be explicit here (no env default):
+/// the legacy path takes no configuration shortcuts.
+void forkjoin_parallel_for(std::size_t count,
+                           const std::function<void(std::size_t)>& body,
+                           unsigned num_threads);
+
+/// Cumulative std::thread constructions performed by forkjoin_parallel_for
+/// (process-wide, monotone). The microbench reports this against the
+/// pool's threads_spawned to show the ~100× birth reduction; production
+/// paths keep it frozen.
+long long forkjoin_threads_spawned();
 
 }  // namespace treemem

@@ -49,6 +49,7 @@
 #include "parallel/executor.hpp"
 #include "parallel/parallel_sim.hpp"
 #include "parallel/schedule_core.hpp"
+#include "parallel/worker_pool.hpp"
 
 // The phased solver facade (analyze → plan → factorize → solve) — the
 // recommended entry point; everything below it stays exported for the
