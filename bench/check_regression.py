@@ -1,5 +1,5 @@
 #!/usr/bin/env python3
-"""Diff a bench regression report (BENCH_9.json) against the checked-in
+"""Diff a bench regression report (BENCH_10.json) against the checked-in
 baseline (bench/baseline.json) and fail CI on regressions.
 
 Two classes of metric, two rules:
@@ -35,7 +35,12 @@ Two classes of metric, two rules:
     per-panel thread spawning, but single-core runners oversubscribe both
     configs into noise) and hard-fail only below 0.75 — a real loss; the
     root-front elastic/held ratio likewise only warns (its hard contract
-    is the grant count).
+    is the grant count). The tracing-overhead ratio is wall-clock too, but
+    min-of-5 interleaved measurement makes it stable enough to carry the
+    observability contract as a hard ceiling: a traced factorize costing
+    more than 5% over an untraced one fails on any machine, and a traced
+    run that retained zero events fails outright (tracing silently off is
+    not "low overhead", it is broken instrumentation).
 
 Usage: check_regression.py <report.json> <baseline.json>
 Exits 0 when clean, 1 on any regression (each printed as 'FAIL: ...').
@@ -49,6 +54,7 @@ SERVICE_RATIO_FLOOR = 1.0  # cached slower than cold fails on any machine
 REPEAT_RATIO_FLOOR = 1.5   # factor-cache hits skip factorize entirely
 SCALING_RATIO_FLOOR = 0.75  # leased runtime truly losing to fork/join fails
 SCALING_RATIO_WARN = 1.0    # below parity: warn (single-core runners)
+TRACING_OVERHEAD_CEILING = 1.05  # traced/untraced factorize, min-of-5
 
 def fail(messages, text):
     messages.append("FAIL: " + text)
@@ -246,6 +252,25 @@ def main():
               "elastic crewing not paying on this runner (expected on a "
               "single core); not failing" % root_ratio)
 
+    # Tracing overhead: the observability subsystem's admission ticket —
+    # instrumentation stays on the hot paths only while a traced run costs
+    # at most 5% over an untraced one (min-of-5 interleaved, so the ratio
+    # is stable despite being wall-clock). Zero retained events means the
+    # instrumented build recorded nothing, which would make the ratio a
+    # vacuous pass.
+    tracing = report.get("tracing", {})
+    overhead = tracing.get("overhead_ratio", 0.0)
+    if not tracing:
+        fail(failures, "tracing: scenario missing from report")
+    else:
+        if overhead > TRACING_OVERHEAD_CEILING:
+            fail(failures, "tracing: traced/untraced factorize ratio %.4f "
+                 "above %.2f — tracing is no longer cheap enough to leave "
+                 "instrumented" % (overhead, TRACING_OVERHEAD_CEILING))
+        if tracing.get("events_retained", 0) <= 0:
+            fail(failures, "tracing: traced factorize retained zero events "
+                 "— the instrumentation did not record")
+
     for line in failures:
         print(line)
     if failures:
@@ -253,12 +278,14 @@ def main():
     print("bench regression check clean: %d instances, "
           "lookahead/reservation stalls %d/%d, cached/cold %.2f "
           "(baseline %.2f), warm misses %s, repeat-values ratio %.2f, "
-          "pool births %s vs forkjoin %s, root-front grants %s/%s"
+          "pool births %s vs forkjoin %s, root-front grants %s/%s, "
+          "tracing overhead %.3fx (%s events)"
           % (len(seen), totals.get("lookahead_stalls", 0),
              totals.get("reservation_stalls", 0), ratio, base_ratio,
              warm.get("warm_misses"), repeat_ratio,
              pool.get("threads_spawned"), pool.get("forkjoin_births"),
-             root.get("leases_granted"), root.get("lease_attempts")))
+             root.get("leases_granted"), root.get("lease_attempts"),
+             overhead, tracing.get("events_retained")))
 
 if __name__ == "__main__":
     main()

@@ -38,6 +38,7 @@
 #include "bench_common.hpp"
 #include "dense/spd_front.hpp"
 #include "multifrontal/numeric.hpp"
+#include "obs/trace.hpp"
 #include "parallel/worker_pool.hpp"
 #include "solver/solver.hpp"
 #include "support/csv.hpp"
@@ -55,7 +56,10 @@ std::string fmt(double v, int precision = 2) {
   return oss.str();
 }
 
-int run() {
+int run(const std::string& trace_path) {
+  // Records the whole sweep (tree-level lanes, panel/trailing spans, pool
+  // lease instants) when --trace or TREEMEM_TRACE asks for it.
+  obs::TraceSession trace(trace_path);
   CorpusOptions options = bench::corpus_options();
   // Numeric factorization is dense-kernel heavy; a moderate slice of the
   // corpus keeps the smoke run in seconds while exercising real fronts.
@@ -406,4 +410,15 @@ int run() {
 
 }  // namespace
 
-int main() { return run(); }
+int main(int argc, char** argv) {
+  std::string trace_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--trace" && i + 1 < argc) {
+      trace_path = argv[++i];
+    } else {
+      std::cerr << "usage: numeric_parallel [--trace out.json]\n";
+      return 2;
+    }
+  }
+  return run(trace_path);
+}

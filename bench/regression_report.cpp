@@ -1,4 +1,4 @@
-// regression_report — the machine-readable bench gate (BENCH_9.json).
+// regression_report — the machine-readable bench gate (BENCH_10.json).
 //
 // Emits one JSON report for CI to diff against the checked-in
 // bench/baseline.json (bench/check_regression.py):
@@ -33,7 +33,12 @@
 //     {1, 2, 4} on the two largest corpus instances, min-of-3 interleaved,
 //     plus a root-front-dominated instance at w = 4 with elastic crewing
 //     on vs off — the case where idle tree-level workers get absorbed by
-//     the root front's trailing updates.
+//     the root front's trailing updates;
+//   * the tracing-overhead scenario: the largest corpus instance factorized
+//     at w = 4 with the trace recorder off vs on (min-of-5, interleaved) —
+//     the "tracing is cheap enough to leave instrumented" contract; the
+//     checker hard-fails past 5% overhead, and the traced timeline is kept
+//     as a per-run artifact next to the report.
 //
 // Unlike the other benches this report IGNORES TREEMEM_SCALE: the corpus
 // is pinned at scale 1.0 so the numbers are comparable across runs and
@@ -54,6 +59,7 @@
 #include "bench_common.hpp"
 #include "core/minmem.hpp"
 #include "multifrontal/numeric_parallel.hpp"
+#include "obs/trace.hpp"
 #include "parallel/parallel_sim.hpp"
 #include "parallel/worker_pool.hpp"
 #include "perf/corpus.hpp"
@@ -130,7 +136,8 @@ double service_solves_per_sec(const ServiceTrace& trace, bool use_cache) {
 int run() {
   bench::print_header(
       "regression report — admission stalls, simulated speedups, service "
-      "throughput, worker-pool counters, scaling sweep (BENCH_9.json)");
+      "throughput, worker-pool counters, scaling sweep, tracing overhead "
+      "(BENCH_10.json)");
 
   // Scale pinned: this report must mean the same thing on every machine.
   const auto instances = build_numeric_instances(CorpusOptions{}, 5);
@@ -141,7 +148,7 @@ int run() {
 
   std::ostringstream json;
   json << "{\n";
-  json << "  \"schema\": \"treemem-bench-9\",\n";
+  json << "  \"schema\": \"treemem-bench-10\",\n";
   json << "  \"budget_rule\": \"max(1.5*minmem_peak, max_mem_req)\",\n";
   json << "  \"speedup_workers\": 4,\n";
   json << "  \"instances\": [\n";
@@ -441,10 +448,56 @@ int run() {
               << num(root_ratio) << " lease_attempts=" << attempts
               << " granted=" << granted << "\n";
   }
-  json << "  }\n";
+  json << "  },\n";
+
+  // --- Tracing overhead --------------------------------------------------
+  // The observability contract: instrumentation may sit on the per-panel
+  // and per-lease hot paths permanently because a traced run costs at most
+  // 5% over an untraced one. Largest corpus instance, w = 4, min-of-5
+  // interleaved (traced and untraced reps alternate so machine load hits
+  // both equally); the checker hard-fails past the ceiling. The recorder's
+  // retained/dropped counts prove tracing actually captured the run, and
+  // the timeline itself is written next to the report for Perfetto.
+  {
+    const NumericInstance& instance = instances.back();
+    ParallelFactorOptions traced_options;
+    traced_options.workers = 4;
+    traced_options.kernel.kind = KernelKind::kParallelTiled;
+    obs::TraceRecorder& recorder = obs::TraceRecorder::instance();
+    double untraced_s = std::numeric_limits<double>::max();
+    double traced_s = std::numeric_limits<double>::max();
+    for (int rep = 0; rep < 5; ++rep) {
+      const ParallelFactorResult off =
+          factor_parallel(instance.matrix, instance.assembly, traced_options);
+      untraced_s = std::min(untraced_s, off.factor_seconds);
+      recorder.start();
+      const ParallelFactorResult on =
+          factor_parallel(instance.matrix, instance.assembly, traced_options);
+      recorder.stop();
+      traced_s = std::min(traced_s, on.factor_seconds);
+    }
+    const obs::TraceRecorder::Stats trace_stats = recorder.stats();
+    const std::string trace_path = bench::output_dir() + "/trace_overhead.json";
+    recorder.write_chrome_json(trace_path);
+    recorder.clear();
+    const double overhead =
+        untraced_s > 0.0 ? traced_s / untraced_s : 0.0;
+    json << "  \"tracing\": {\"instance\": \"" << instance.name
+         << "\", \"workers\": " << traced_options.workers
+         << ", \"untraced_s\": " << num(untraced_s)
+         << ", \"traced_s\": " << num(traced_s)
+         << ", \"overhead_ratio\": " << num(overhead)
+         << ", \"events_retained\": " << trace_stats.retained
+         << ", \"events_dropped\": " << trace_stats.dropped << "}\n";
+    std::cout << "tracing " << instance.name << " w=4: untraced="
+              << num(untraced_s * 1e3) << "ms traced=" << num(traced_s * 1e3)
+              << "ms overhead=" << num(overhead) << "x events="
+              << trace_stats.retained << " (+" << trace_stats.dropped
+              << " dropped); timeline: " << trace_path << "\n";
+  }
   json << "}\n";
 
-  const std::string path = bench::output_dir() + "/BENCH_9.json";
+  const std::string path = bench::output_dir() + "/BENCH_10.json";
   std::ofstream out(path);
   out << json.str();
   out.close();

@@ -14,17 +14,22 @@
 //                     [--admission greedy|lookahead|reservation]
 //                     [--workers W] [--kernel scalar|blocked|parallel[:nb]]
 //                     [--rhs K] [--seed S] [--synthetic] [--csv stats.csv]
+//                     [--trace out.json]
 //       The full pipeline: analyze -> plan -> factorize -> solve with K
 //       right-hand sides, printing the per-phase SolverStats and optionally
 //       appending them to a CSV (the bench-smoke artifact format). The
 //       file's own numeric values are factorized; --synthetic (or a
 //       pattern-field file, which carries no values) substitutes the seeded
-//       deterministic SPD value set instead.
+//       deterministic SPD value set instead. --trace records the run's
+//       scheduler timeline as Chrome trace_event JSON (load in Perfetto or
+//       chrome://tracing); TREEMEM_TRACE=out.json does the same without
+//       the flag.
 //
 //   treemem_cli serve <trace.txt> [solve flags] [--pool-workers W]
 //                     [--repeat R] [--cache-entries N] [--cache-bytes B]
 //                     [--factor-cache N] [--state-dir DIR] [--promote-lone]
-//                     [--csv stats.csv]
+//                     [--csv stats.csv] [--trace out.json]
+//                     [--metrics-out FILE]
 //       Solver-as-a-service replay: each trace line is
 //           <matrix.mtx> <value-seed> <num-rhs>
 //       (# comments and blank lines skipped; value-seed 0 uses the file's
@@ -39,7 +44,10 @@
 //       pool workers for parallel factorization, and --state-dir DIR
 //       persists the symbolic cache across runs: state is loaded before
 //       the replay (a warm restart — 0 symbolic misses on a repeated
-//       trace) and saved after.
+//       trace) and saved after. --metrics-out FILE writes the service's
+//       Prometheus-style metrics exposition (solve-latency histogram,
+//       cache and lease counters) after the replay; --trace records the
+//       timeline like `solve`.
 //
 //   treemem_cli tree <tree.txt> [--memory M]
 //       The same MinMemory analysis for a task tree in the treemem text
@@ -80,12 +88,14 @@ int usage() {
       << "                    [--traversal auto|postorder|liu|minmem]"
          " [--admission greedy|lookahead|reservation] [--workers W]\n"
       << "                    [--kernel scalar|blocked|parallel[:nb]]"
-         " [--rhs K] [--seed S] [--synthetic] [--csv stats.csv]\n"
+         " [--rhs K] [--seed S] [--synthetic] [--csv stats.csv]"
+         " [--trace out.json]\n"
       << "  treemem_cli serve <trace.txt> [solve flags] [--pool-workers W]"
          " [--repeat R]\n"
       << "                    [--cache-entries N] [--cache-bytes B]"
          " [--factor-cache N] [--state-dir DIR] [--promote-lone]"
          " [--csv stats.csv]\n"
+      << "                    [--trace out.json] [--metrics-out FILE]\n"
       << "      trace line: <matrix.mtx> <value-seed> <num-rhs>"
          " (seed 0 = the file's own values)\n"
       << "  treemem_cli tree <tree.txt> [--memory M]\n"
@@ -159,6 +169,8 @@ struct CliOptions {
   bool promote_lone = false;
   std::string state_dir;
   std::string csv_path;
+  std::string trace_path;    ///< Chrome trace JSON out (empty = env/off)
+  std::string metrics_out;   ///< serve: metrics exposition file (empty = off)
 };
 
 std::optional<OrderingChoice> ordering_of(const std::string& name) {
@@ -219,6 +231,8 @@ int run_solve(const std::string& path, const CliOptions& cli) {
   if (!options || cli.rhs < 1) {
     return usage();
   }
+  // Record the whole pipeline; the JSON is written when the session ends.
+  obs::TraceSession trace(cli.trace_path);
 
   // Factorize the file's own values; fall back to the seeded synthetic SPD
   // set when asked to (--synthetic) or when the file is pattern-only and
@@ -375,6 +389,7 @@ int run_serve(const std::string& trace_path, const CliOptions& cli) {
   if (!options || cli.repeat < 1) {
     return usage();
   }
+  obs::TraceSession trace(cli.trace_path);
   const std::vector<TraceLine> lines = read_trace(trace_path);
 
   // Each matrix file is parsed once; repeats and duplicate lines reuse the
@@ -441,13 +456,10 @@ int run_serve(const std::string& trace_path, const CliOptions& cli) {
 
   long long rhs_columns = 0;
   long long factor_hits = 0;
-  std::vector<double> latencies;
-  latencies.reserve(futures.size());
   for (std::future<SolveOutcome>& future : futures) {
     SolveOutcome outcome = future.get();
     rhs_columns += static_cast<long long>(outcome.solutions.size());
     factor_hits += outcome.factor_hit ? 1 : 0;
-    latencies.push_back(outcome.seconds);
   }
   const double wall_seconds = wall.elapsed_s();
 
@@ -459,11 +471,12 @@ int run_serve(const std::string& trace_path, const CliOptions& cli) {
               << cli.state_dir << "\n";
   }
 
-  std::sort(latencies.begin(), latencies.end());
-  const auto percentile = [&](double p) {
-    const std::size_t index = static_cast<std::size_t>(
-        p * static_cast<double>(latencies.size() - 1) + 0.5);
-    return latencies[index] * 1e3;  // ms
+  // Percentiles come from the pool's latency histogram (linear
+  // interpolation inside the selected bucket) — the sorted-vector index
+  // math this replaces rounded p99 onto the wrong sample at small counts.
+  const obs::Histogram& latency = pool.solve_latency();
+  const auto percentile = [&](double q) {
+    return latency.quantile(q) * 1e3;  // ms
   };
   const double solves_per_sec =
       wall_seconds > 0.0 ? static_cast<double>(rhs_columns) / wall_seconds
@@ -479,6 +492,8 @@ int run_serve(const std::string& trace_path, const CliOptions& cli) {
   table.add_row({"solves/sec", seconds(solves_per_sec)});
   table.add_row({"latency p50 (ms)", seconds(percentile(0.50))});
   table.add_row({"latency p99 (ms)", seconds(percentile(0.99))});
+  table.add_row({"latency p99.9 (ms)", seconds(percentile(0.999))});
+  table.add_row({"latency samples", std::to_string(latency.count())});
   table.add_row({"symbolic cache", std::to_string(cache.hits) + " hits / " +
                                        std::to_string(cache.misses) +
                                        " misses (" +
@@ -504,6 +519,7 @@ int run_serve(const std::string& trace_path, const CliOptions& cli) {
     CsvWriter csv(cli.csv_path,
                   {"trace", "requests", "rhs_columns", "pool_workers",
                    "wall_seconds", "solves_per_sec", "p50_ms", "p99_ms",
+                   "p999_ms", "latency_samples",
                    "cache_hits", "cache_misses", "cache_patterns",
                    "cache_evictions", "factor_hits", "factor_misses",
                    "factor_evictions", "factorizations", "rhs_solved"});
@@ -515,6 +531,8 @@ int run_serve(const std::string& trace_path, const CliOptions& cli) {
                    CsvWriter::cell(solves_per_sec),
                    CsvWriter::cell(percentile(0.50)),
                    CsvWriter::cell(percentile(0.99)),
+                   CsvWriter::cell(percentile(0.999)),
+                   CsvWriter::cell(latency.count()),
                    CsvWriter::cell(cache.hits), CsvWriter::cell(cache.misses),
                    CsvWriter::cell(static_cast<long long>(cache.entries)),
                    CsvWriter::cell(cache.evictions),
@@ -525,6 +543,15 @@ int run_serve(const std::string& trace_path, const CliOptions& cli) {
                        totals.factorizations)),
                    CsvWriter::cell(static_cast<long long>(totals.rhs_solved))});
     std::cout << "stats: " << csv.path() << "\n";
+  }
+
+  // Written while the pool is alive, so its exporter (latency histogram,
+  // cache counters, solver totals) is part of the exposition.
+  if (!cli.metrics_out.empty()) {
+    std::ofstream out(cli.metrics_out);
+    out << obs::dump_metrics();
+    TM_CHECK(out.good(), "cannot write metrics to " << cli.metrics_out);
+    std::cout << "metrics: " << cli.metrics_out << "\n";
   }
   return 0;
 }
@@ -614,6 +641,10 @@ int main(int argc, char** argv) {
         cli.state_dir = argv[++i];
       } else if (std::strcmp(argv[i], "--csv") == 0 && i + 1 < argc) {
         cli.csv_path = argv[++i];
+      } else if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
+        cli.trace_path = argv[++i];
+      } else if (std::strcmp(argv[i], "--metrics-out") == 0 && i + 1 < argc) {
+        cli.metrics_out = argv[++i];
       } else {
         return usage();
       }

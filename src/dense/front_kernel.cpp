@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "dense/kernel_detail.hpp"
+#include "obs/trace.hpp"
 #include "support/check.hpp"
 #include "support/env.hpp"
 
@@ -121,8 +122,19 @@ long long FrontKernel::partial_factor(double* front, std::size_t m,
   long long flops = 0;
   for (std::size_t k0 = 0; k0 < eta; k0 += nb) {
     const std::size_t width = std::min(nb, eta - k0);
-    flops += factor_panel(front, m, k0, width, member_columns);
+    {
+      obs::TraceSpan span("panel", "dense", obs::TraceRecorder::kNoLane,
+                          "k0", static_cast<long long>(k0), "width",
+                          static_cast<long long>(width));
+      flops += factor_panel(front, m, k0, width, member_columns);
+    }
     if (k0 + width < m) {
+      // The parallel kernel's lease grant/deny instants (from the pool)
+      // land inside this span, tying an inline panel to its denial.
+      obs::TraceSpan span("trailing_update", "dense",
+                          obs::TraceRecorder::kNoLane, "k0",
+                          static_cast<long long>(k0), "cols",
+                          static_cast<long long>(m - k0 - width));
       flops += trailing_update(front, m, k0, width);
     }
   }

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/trace.hpp"
 #include "symbolic/symbolic.hpp"
 
 namespace treemem {
@@ -126,6 +127,12 @@ void FrontalEngine::process_front(NodeId s, FrontWorkspace& ws) {
   ws.rows.erase(std::unique(ws.rows.begin(), ws.rows.end()), ws.rows.end());
   const std::size_t m = ws.rows.size();
   const std::size_t eta = cols.size();
+  // On the emitting thread's own track: the executor separately records
+  // this front on its worker lane, so serial runs still get front spans.
+  obs::TraceSpan trace_front("process_front", "mf",
+                             obs::TraceRecorder::kNoLane, "node",
+                             static_cast<long long>(s), "m",
+                             static_cast<long long>(m));
   TM_ASSERT(m == static_cast<std::size_t>(
                      front_size_[static_cast<std::size_t>(s)]),
             "symbolic front size drifted from the numeric union at node " << s);

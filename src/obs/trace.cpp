@@ -1,0 +1,292 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <iomanip>
+#include <set>
+#include <thread>
+#include <utility>
+
+#include "support/check.hpp"
+#include "support/env.hpp"
+
+namespace treemem::obs {
+
+// One writer (the owning thread) appends at head; `active` is the drain
+// handshake; `aborted` counts emits that lost the race against a drain.
+struct TraceRecorder::ThreadBuffer {
+  ThreadBuffer(std::size_t capacity, int tid_in)
+      : slots(capacity), tid(tid_in) {}
+
+  std::vector<TraceEvent> slots;
+  std::uint64_t head = 0;  ///< total events ever written (owner-only)
+  std::atomic<int> active{0};
+  std::atomic<std::uint64_t> aborted{0};
+  int tid = 0;
+};
+
+namespace {
+
+std::atomic<std::uint64_t> next_recorder_id{1};
+
+// Thread-local map from recorder id to that thread's buffer. A tiny
+// linear-scanned vector: a thread touches one recorder in production
+// (the process instance) and a handful in tests.
+struct TlsRef {
+  std::uint64_t recorder_id = 0;
+  void* buffer = nullptr;
+};
+thread_local std::vector<TlsRef> tls_buffers;
+
+void write_escaped(std::ostream& os, const char* text) {
+  os << '"';
+  for (const char* p = text; *p != '\0'; ++p) {
+    const char c = *p;
+    if (c == '"' || c == '\\') {
+      os << '\\' << c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      os << "\\u00" << "0123456789abcdef"[(c >> 4) & 0xf]
+         << "0123456789abcdef"[c & 0xf];
+    } else {
+      os << c;
+    }
+  }
+  os << '"';
+}
+
+}  // namespace
+
+TraceRecorder::TraceRecorder(TraceRecorderOptions options)
+    : options_(options),
+      id_(next_recorder_id.fetch_add(1, std::memory_order_relaxed)),
+      epoch_(std::chrono::steady_clock::now()) {
+  TM_CHECK(options_.buffer_capacity > 0,
+           "TraceRecorder buffer_capacity must be positive");
+}
+
+TraceRecorder::~TraceRecorder() = default;
+
+TraceRecorder& TraceRecorder::instance() {
+  static TraceRecorder recorder;
+  return recorder;
+}
+
+TraceRecorder::ThreadBuffer& TraceRecorder::local_buffer() {
+  for (const TlsRef& ref : tls_buffers) {
+    if (ref.recorder_id == id_) {
+      return *static_cast<ThreadBuffer*>(ref.buffer);
+    }
+  }
+  std::lock_guard<std::mutex> lock(registry_mutex_);
+  buffers_.push_back(std::make_unique<ThreadBuffer>(
+      options_.buffer_capacity, static_cast<int>(buffers_.size())));
+  ThreadBuffer* buffer = buffers_.back().get();
+  tls_buffers.push_back({id_, buffer});
+  return *buffer;
+}
+
+void TraceRecorder::emit(char phase, const char* name, const char* cat,
+                         int lane, const char* key0, long long val0,
+                         const char* key1, long long val1) {
+  if (!enabled_.load(std::memory_order_relaxed)) return;
+  ThreadBuffer& buffer = local_buffer();
+  // Dekker handshake with pause(): raise `active`, then re-check the
+  // enabled flag. Both seq_cst, so either this emit aborts or the drain
+  // observes `active` and waits for the release store below.
+  buffer.active.exchange(1, std::memory_order_seq_cst);
+  if (!enabled_.load(std::memory_order_seq_cst)) {
+    buffer.aborted.fetch_add(1, std::memory_order_relaxed);
+    buffer.active.store(0, std::memory_order_release);
+    return;
+  }
+  TraceEvent& event = buffer.slots[buffer.head % buffer.slots.size()];
+  event.name = name;
+  event.cat = cat;
+  event.key0 = key0;
+  event.key1 = key1;
+  event.val0 = val0;
+  event.val1 = val1;
+  event.ts_us = std::chrono::duration<double, std::micro>(
+                    std::chrono::steady_clock::now() - epoch_)
+                    .count();
+  event.lane = lane;
+  event.tid = buffer.tid;
+  event.phase = phase;
+  ++buffer.head;
+  buffer.active.store(0, std::memory_order_release);
+}
+
+bool TraceRecorder::pause() {
+  const bool was_enabled = enabled_.exchange(false, std::memory_order_seq_cst);
+  std::lock_guard<std::mutex> lock(registry_mutex_);
+  for (const auto& buffer : buffers_) {
+    while (buffer->active.load(std::memory_order_seq_cst) != 0) {
+      std::this_thread::yield();
+    }
+  }
+  return was_enabled;
+}
+
+void TraceRecorder::collect_locked(std::vector<TraceEvent>& out) const {
+  for (const auto& buffer : buffers_) {
+    const std::uint64_t cap = buffer->slots.size();
+    const std::uint64_t retained = std::min<std::uint64_t>(buffer->head, cap);
+    for (std::uint64_t i = 0; i < retained; ++i) {
+      out.push_back(buffer->slots[(buffer->head - retained + i) % cap]);
+    }
+  }
+}
+
+TraceRecorder::Stats TraceRecorder::stats() {
+  const bool was_enabled = pause();
+  Stats stats;
+  {
+    std::lock_guard<std::mutex> lock(registry_mutex_);
+    stats.threads = buffers_.size();
+    for (const auto& buffer : buffers_) {
+      const std::uint64_t cap = buffer->slots.size();
+      stats.retained += std::min<std::uint64_t>(buffer->head, cap);
+      stats.dropped += (buffer->head > cap ? buffer->head - cap : 0) +
+                       buffer->aborted.load(std::memory_order_relaxed);
+    }
+  }
+  resume(was_enabled);
+  return stats;
+}
+
+std::vector<TraceEvent> TraceRecorder::snapshot() {
+  const bool was_enabled = pause();
+  std::vector<TraceEvent> events;
+  {
+    std::lock_guard<std::mutex> lock(registry_mutex_);
+    collect_locked(events);
+  }
+  resume(was_enabled);
+  return events;
+}
+
+void TraceRecorder::clear() {
+  const bool was_enabled = pause();
+  {
+    std::lock_guard<std::mutex> lock(registry_mutex_);
+    for (const auto& buffer : buffers_) {
+      buffer->head = 0;
+      buffer->aborted.store(0, std::memory_order_relaxed);
+    }
+  }
+  resume(was_enabled);
+}
+
+void TraceRecorder::write_chrome_json(std::ostream& os) {
+  const bool was_enabled = pause();
+  std::vector<TraceEvent> events;
+  {
+    std::lock_guard<std::mutex> lock(registry_mutex_);
+    collect_locked(events);
+  }
+  resume(was_enabled);
+
+  // Two Perfetto process groups: pid 1 carries the scheduler view (one
+  // track per executor lane plus the counter tracks), pid 2 the raw
+  // emitting threads. Counter samples always land on pid 1 so the
+  // accountant track sits next to the worker lanes it explains.
+  constexpr int kSchedulerPid = 1;
+  constexpr int kThreadsPid = 2;
+  std::set<int> lanes;
+  std::set<int> tids;
+  for (const TraceEvent& event : events) {
+    if (event.phase == 'C') continue;
+    if (event.lane >= 0) {
+      lanes.insert(event.lane);
+    } else {
+      tids.insert(event.tid);
+    }
+  }
+
+  os << std::setprecision(15);
+  os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  const auto separator = [&] {
+    if (!first) os << ',';
+    first = false;
+    os << '\n';
+  };
+  const auto metadata = [&](const char* name, int pid, int tid,
+                            const std::string& value) {
+    separator();
+    os << "{\"name\":\"" << name << "\",\"ph\":\"M\",\"pid\":" << pid
+       << ",\"tid\":" << tid << ",\"args\":{\"name\":";
+    write_escaped(os, value.c_str());
+    os << "}}";
+  };
+  metadata("process_name", kSchedulerPid, 0, "treemem scheduler");
+  metadata("process_name", kThreadsPid, 0, "treemem threads");
+  for (const int lane : lanes) {
+    metadata("thread_name", kSchedulerPid, lane,
+             "worker " + std::to_string(lane));
+  }
+  for (const int tid : tids) {
+    metadata("thread_name", kThreadsPid, tid,
+             "thread " + std::to_string(tid));
+  }
+
+  for (const TraceEvent& event : events) {
+    separator();
+    const bool on_scheduler = event.phase == 'C' || event.lane >= 0;
+    const int pid = on_scheduler ? kSchedulerPid : kThreadsPid;
+    const int tid = event.phase == 'C' ? 0
+                    : event.lane >= 0  ? event.lane
+                                       : event.tid;
+    os << "{\"name\":";
+    write_escaped(os, event.name);
+    os << ",\"cat\":";
+    write_escaped(os, event.cat);
+    os << ",\"ph\":\"" << event.phase << "\",\"ts\":" << event.ts_us
+       << ",\"pid\":" << pid << ",\"tid\":" << tid;
+    if (event.phase == 'i') os << ",\"s\":\"t\"";
+    if (event.key0 != nullptr || event.key1 != nullptr) {
+      os << ",\"args\":{";
+      if (event.key0 != nullptr) {
+        write_escaped(os, event.key0);
+        os << ':' << event.val0;
+      }
+      if (event.key1 != nullptr) {
+        if (event.key0 != nullptr) os << ',';
+        write_escaped(os, event.key1);
+        os << ':' << event.val1;
+      }
+      os << '}';
+    }
+    os << '}';
+  }
+  os << "\n]}\n";
+}
+
+void TraceRecorder::write_chrome_json(const std::string& path) {
+  std::ofstream out(path, std::ios::trunc);
+  TM_CHECK(out.good(),
+           "cannot open trace output file: " << path);
+  write_chrome_json(out);
+  TM_CHECK(out.good(),
+           "failed writing trace output file: " << path);
+}
+
+std::optional<std::string> trace_path_from_env() {
+  return env_string("TREEMEM_TRACE");
+}
+
+TraceSession::TraceSession(std::string path) : path_(std::move(path)) {
+  if (path_.empty()) path_ = trace_path_from_env().value_or("");
+  if (!path_.empty()) {
+    TraceRecorder::instance().start();
+  }
+}
+
+TraceSession::~TraceSession() {
+  if (path_.empty()) return;
+  TraceRecorder& recorder = TraceRecorder::instance();
+  recorder.stop();
+  recorder.write_chrome_json(path_);
+}
+
+}  // namespace treemem::obs

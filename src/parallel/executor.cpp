@@ -6,12 +6,26 @@
 #include <exception>
 #include <mutex>
 
+#include "obs/trace.hpp"
 #include "parallel/worker_pool.hpp"
 #include "support/timer.hpp"
 
 namespace treemem {
 
 namespace {
+
+/// Static-literal trace names (TraceEvent stores pointers, not copies).
+const char* admission_trace_name(AdmissionPolicy policy) {
+  switch (policy) {
+    case AdmissionPolicy::kGreedy:
+      return "admission:greedy";
+    case AdmissionPolicy::kLookahead:
+      return "admission:lookahead";
+    case AdmissionPolicy::kReservation:
+      return "admission:reservation";
+  }
+  return "admission:?";
+}
 
 /// Busy-waits for `seconds` of wall-clock time. A spin (not a sleep) so the
 /// worker genuinely occupies its core, like a real factorization kernel
@@ -88,6 +102,19 @@ ExecutorResult execute_task_tree(const Tree& tree,
   }
   Timer run_timer;
 
+  obs::TraceRecorder& recorder = obs::TraceRecorder::instance();
+  if (recorder.enabled()) {
+    // One instant names the policy for the whole run; the counter track
+    // starts at the initial accountant level (the leaves' inputs).
+    recorder.instant(admission_trace_name(options.admission), "admission", 0,
+                     "budget",
+                     options.memory_budget == kInfiniteWeight
+                         ? -1
+                         : static_cast<long long>(options.memory_budget));
+    recorder.counter("memory_entries", "entries",
+                     static_cast<long long>(core.current_memory()));
+  }
+
   // Declared as std::function so maybe_recruit (below) can hand the stint
   // to the pool from inside worker_loop (mutual reference).
   std::function<void()> stint;
@@ -124,6 +151,10 @@ ExecutorResult execute_task_tree(const Tree& tree,
           // resident files and no completion will ever free memory — the
           // greedy schedule is stuck (the simulator's memory deadlock).
           aborted = true;
+          if (recorder.enabled()) {
+            recorder.instant("stall", "admission", worker_id, "resident",
+                             static_cast<long long>(core.current_memory()));
+          }
           ready_cv.notify_all();
           break;
         }
@@ -133,12 +164,27 @@ ExecutorResult execute_task_tree(const Tree& tree,
           // maybe_recruit() re-recruits when new work readies.
           break;
         }
+        if (recorder.enabled()) {
+          // Deferred: ready work exists (or will) but nothing admissible
+          // under the budget right now — the lane goes idle on purpose.
+          recorder.instant("defer", "admission", worker_id, "in_flight",
+                           in_flight, "resident",
+                           static_cast<long long>(core.current_memory()));
+        }
         ready_cv.wait(lock);
         continue;
       }
       ++in_flight;
+      if (recorder.enabled()) {
+        recorder.counter("memory_entries", "entries",
+                         static_cast<long long>(core.current_memory()));
+      }
       maybe_recruit();  // more admissible tasks may still be ready
       lock.unlock();
+      if (recorder.enabled()) {
+        recorder.begin("front", "exec", worker_id, "node",
+                       static_cast<long long>(node));
+      }
       const double start_s = run_timer.elapsed_s();
       bool threw = false;
       try {
@@ -149,6 +195,9 @@ ExecutorResult execute_task_tree(const Tree& tree,
                    options.spin_seconds_per_unit);
         }
       } catch (...) {
+        if (recorder.enabled()) {
+          recorder.end("front", "exec", worker_id);
+        }
         lock.lock();
         if (!first_error) {
           first_error = std::current_exception();
@@ -162,8 +211,15 @@ ExecutorResult execute_task_tree(const Tree& tree,
         break;
       }
       const double finish_s = run_timer.elapsed_s();
+      if (recorder.enabled()) {
+        recorder.end("front", "exec", worker_id);
+      }
       lock.lock();
       core.finish(node);  // may ready the parent
+      if (recorder.enabled()) {
+        recorder.counter("memory_entries", "entries",
+                         static_cast<long long>(core.current_memory()));
+      }
       --in_flight;
       gantt[static_cast<std::size_t>(node)] = {node, worker_id, start_s,
                                                finish_s};

@@ -5,6 +5,8 @@
 #include <exception>
 #include <utility>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "support/check.hpp"
 #include "support/env.hpp"
 #include "support/parallel_for.hpp"
@@ -190,6 +192,30 @@ WorkerPool& WorkerPool::instance() {
   // default_thread_count), torn down at static destruction — after which
   // no treemem code runs, so the destructor's drain-and-join is safe.
   static WorkerPool pool(default_thread_count());
+  // The process pool's counters in the metrics exposition. Registered
+  // after `pool`, so the registry outlives nothing that dumps it: it is
+  // destroyed first at teardown, taking the exporter (and its pool
+  // reference) with it. Private pools (tests, benches) stay unregistered
+  // — process metrics describe the process pool.
+  static const bool exporter_registered = [] {
+    obs::MetricsRegistry::instance().add_exporter([] {
+      const WorkerPoolStats s = pool.stats();
+      std::string text;
+      text += obs::format_gauge("treemem_pool_threads_spawned", "",
+                                static_cast<double>(s.threads_spawned));
+      text += obs::format_counter("treemem_pool_leases_granted_total", "",
+                                  s.leases_granted);
+      text += obs::format_counter("treemem_pool_leases_denied_total", "",
+                                  s.leases_denied);
+      text += obs::format_counter("treemem_pool_workers_leased_total", "",
+                                  s.workers_leased);
+      text += obs::format_counter("treemem_pool_workers_dispatched_total", "",
+                                  s.workers_dispatched);
+      return text;
+    });
+    return true;
+  }();
+  (void)exporter_registered;
   return pool;
 }
 
@@ -211,7 +237,11 @@ void WorkerPool::worker_main(unsigned slot_index) {
       std::function<void()> job = std::move(slot.job);
       slot.job = nullptr;
       lock.unlock();
-      job();  // must not throw (documented contract of dispatch/lease jobs)
+      {
+        obs::TraceSpan stint("stint", "pool", obs::TraceRecorder::kNoLane,
+                             "slot", static_cast<long long>(slot_index));
+        job();  // must not throw (documented contract of dispatch/lease jobs)
+      }
       lock.lock();
       park_locked(slot_index);
       continue;  // re-check: a stop may have been requested meanwhile
@@ -248,6 +278,17 @@ WorkerLease WorkerPool::try_lease(unsigned max_workers) {
       leases_granted_.fetch_add(1, std::memory_order_relaxed);
       workers_leased_.fetch_add(static_cast<long long>(claimed.size()),
                                 std::memory_order_relaxed);
+    }
+  }
+  // Emitted outside the pool lock; denied leases are the instants that
+  // explain an inline panel on the timeline.
+  if (max_workers > 0) {
+    obs::TraceRecorder& recorder = obs::TraceRecorder::instance();
+    if (recorder.enabled()) {
+      recorder.instant(claimed.empty() ? "lease_deny" : "lease_grant", "pool",
+                       obs::TraceRecorder::kNoLane, "requested",
+                       static_cast<long long>(max_workers), "granted",
+                       static_cast<long long>(claimed.size()));
     }
   }
   return WorkerLease(this, std::move(claimed));

@@ -4,6 +4,7 @@
 #include <cstring>
 #include <utility>
 
+#include "obs/trace.hpp"
 #include "support/check.hpp"
 
 namespace treemem {
@@ -40,6 +41,11 @@ Weight NumericCache::evict_lru_locked() {
   --entry_count_;
   resident_charge_ -= victim->charge;
   evictions_.fetch_add(1, std::memory_order_relaxed);
+  obs::TraceRecorder& recorder = obs::TraceRecorder::instance();
+  if (recorder.enabled()) {
+    recorder.instant("factor_evict", "cache", obs::TraceRecorder::kNoLane,
+                     "freed_charge", static_cast<long long>(victim->charge));
+  }
   return victim->charge;
 }
 
@@ -58,11 +64,19 @@ std::shared_ptr<const CholeskyFactor> NumericCache::lookup(
           entry->value_key == value_key && entry->values == values) {
         lru_.splice(lru_.begin(), lru_, entry->lru_pos);  // touch
         hits_.fetch_add(1, std::memory_order_relaxed);
+        obs::TraceRecorder& recorder = obs::TraceRecorder::instance();
+        if (recorder.enabled()) {
+          recorder.instant("factor_hit", "cache");
+        }
         return entry->factor;
       }
     }
   }
   misses_.fetch_add(1, std::memory_order_relaxed);
+  obs::TraceRecorder& recorder = obs::TraceRecorder::instance();
+  if (recorder.enabled()) {
+    recorder.instant("factor_miss", "cache");
+  }
   return nullptr;
 }
 

@@ -10,6 +10,7 @@
 #include "core/postorder.hpp"
 #include "multifrontal/numeric_parallel.hpp"
 #include "multifrontal/out_of_core.hpp"
+#include "obs/trace.hpp"
 #include "parallel/parallel_sim.hpp"
 #include "order/ordering.hpp"
 #include "support/env.hpp"
@@ -108,6 +109,8 @@ Solver& Solver::analyze(const SparsePattern& pattern,
            "Solver::analyze: pattern must be symmetric with a full diagonal "
            "(apply symmetrize() first)");
   Timer timer;
+  obs::TraceSpan phase_span("analyze", "solver", obs::TraceRecorder::kNoLane,
+                            "n", static_cast<long long>(pattern.cols()));
 
   auto analysis = std::make_shared<SolverAnalysis>();
   analysis->options = options;
@@ -218,6 +221,7 @@ Solver& Solver::plan(const PlanOptions& options) {
   TM_CHECK(options.memory_budget > 0,
            "Solver::plan: memory budget must be positive");
   Timer timer;
+  obs::TraceSpan phase_span("plan", "solver");
   const Tree& tree = analysis_->assembly.tree;
   const Weight budget = options.memory_budget;
 
@@ -508,6 +512,8 @@ Solver& Solver::factorize_permuted(const SymmetricMatrix& permuted,
            "FactorizeEngine::kSerial or raise the memory budget");
 
   Timer timer;
+  obs::TraceSpan phase_span("factorize", "solver", obs::TraceRecorder::kNoLane,
+                            "workers", workers);
   bool stall_fallback = false;
   const char* engine_name = "serial";
 
@@ -603,6 +609,7 @@ std::vector<double> Solver::solve(std::vector<double> rhs) const {
                                                       << " entries, expected "
                                                       << n);
   Timer timer;
+  obs::TraceSpan phase_span("solve", "solver");
   const std::vector<Index>& perm = analysis_->perm;
   // Solve P A Pᵀ y = P b, then undo the permutation: x = Pᵀ y.
   std::vector<double> permuted_rhs(n);

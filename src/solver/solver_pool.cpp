@@ -1,36 +1,23 @@
 #include "solver/solver_pool.hpp"
 
 #include <algorithm>
+#include <type_traits>
 #include <utility>
 
+#include "obs/stats_fields.hpp"
 #include "support/parallel_for.hpp"
 #include "support/timer.hpp"
 
 namespace treemem {
 
 SolverStats aggregate_solver_stats(const std::vector<SolverStats>& stats) {
+  // One fold per field, driven by the table in obs/stats_fields.hpp —
+  // the sum/max lists live there (and only there), shared with the
+  // metrics exporter below, so a new SolverStats field cannot be
+  // aggregated and not exported, or vice versa.
   SolverStats total;
   for (const SolverStats& s : stats) {
-    total.analyze_seconds += s.analyze_seconds;
-    total.plan_seconds += s.plan_seconds;
-    total.factorize_seconds += s.factorize_seconds;
-    total.solve_seconds += s.solve_seconds;
-    total.factorizations += s.factorizations;
-    total.rhs_solved += s.rhs_solved;
-    total.flops += s.flops;
-    total.leases_granted += s.leases_granted;
-    total.lease_denied += s.lease_denied;
-    total.measured_peak_entries =
-        std::max(total.measured_peak_entries, s.measured_peak_entries);
-    total.modeled_peak_entries =
-        std::max(total.modeled_peak_entries, s.modeled_peak_entries);
-    // The plan-phase peaks aggregate by max too — dropping them reported
-    // "planned peak 0" at pool level even while admission was charging
-    // real plans against the budget.
-    total.planned_peak_entries =
-        std::max(total.planned_peak_entries, s.planned_peak_entries);
-    total.planned_parallel_peak =
-        std::max(total.planned_parallel_peak, s.planned_parallel_peak);
+    obs::merge_solver_stats(total, s);
   }
   return total;
 }
@@ -59,9 +46,56 @@ SolverPool::SolverPool(SolverPoolOptions options)
   for (int id = 0; id < workers; ++id) {
     threads_.emplace_back([this, id] { worker_loop(id); });
   }
+  // Every line of the service's exposition comes from state the pool
+  // already keeps: the latency histogram, both cache Stats, and the
+  // aggregated SolverStats rendered field-by-field from the same table
+  // that drives aggregate_solver_stats. Removed in the destructor before
+  // anything the lambda reads is torn down.
+  metrics_token_ = obs::MetricsRegistry::instance().add_exporter([this] {
+    std::string text;
+    text += obs::format_histogram("treemem_solve_latency_seconds", "",
+                                  solve_latency_);
+    const SymbolicCache::Stats sym = cache_stats();
+    text += obs::format_counter("treemem_symbolic_cache_hits_total", "",
+                                sym.hits);
+    text += obs::format_counter("treemem_symbolic_cache_misses_total", "",
+                                sym.misses);
+    text += obs::format_counter("treemem_symbolic_cache_evictions_total", "",
+                                sym.evictions);
+    text += obs::format_gauge("treemem_symbolic_cache_entries", "",
+                              static_cast<double>(sym.entries));
+    text += obs::format_gauge("treemem_symbolic_cache_resident_bytes", "",
+                              static_cast<double>(sym.resident_bytes));
+    const NumericCache::Stats num = factor_cache_stats();
+    text += obs::format_counter("treemem_factor_cache_hits_total", "",
+                                num.hits);
+    text += obs::format_counter("treemem_factor_cache_misses_total", "",
+                                num.misses);
+    text += obs::format_counter("treemem_factor_cache_evictions_total", "",
+                                num.evictions);
+    text += obs::format_gauge("treemem_factor_cache_entries", "",
+                              static_cast<double>(num.entries));
+    text += obs::format_gauge("treemem_factor_cache_resident_charge", "",
+                              static_cast<double>(num.resident_charge));
+    const SolverStats total = aggregated_stats();
+    obs::for_each_stat_field([&](const char* name, obs::StatMerge,
+                                 auto member) {
+      const auto value = total.*member;
+      const std::string metric = std::string("treemem_solver_") + name;
+      if constexpr (std::is_floating_point_v<
+                        std::decay_t<decltype(value)>>) {
+        text += obs::format_gauge(metric, "", value);
+      } else {
+        text += obs::format_counter(metric, "",
+                                    static_cast<long long>(value));
+      }
+    });
+    return text;
+  });
 }
 
 SolverPool::~SolverPool() {
+  obs::MetricsRegistry::instance().remove_exporter(metrics_token_);
   {
     std::lock_guard<std::mutex> lock(queue_mutex_);
     stopping_ = true;
@@ -205,6 +239,7 @@ SolveOutcome SolverPool::run_job(Solver& solver, SolveRequest& request) {
       outcome.factor_hit = true;
       outcome.solutions = solver.solve(request.rhs);
       outcome.seconds = timer.elapsed_s();
+      solve_latency_.observe(outcome.seconds);
       return outcome;
     }
   }
@@ -265,6 +300,7 @@ SolveOutcome SolverPool::run_job(Solver& solver, SolveRequest& request) {
   }
 
   outcome.seconds = timer.elapsed_s();
+  solve_latency_.observe(outcome.seconds);
   return outcome;
 }
 

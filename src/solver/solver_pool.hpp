@@ -51,6 +51,7 @@
 #include <thread>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "parallel/schedule_core.hpp"
 #include "solver/numeric_cache.hpp"
 #include "solver/solver.hpp"
@@ -138,6 +139,10 @@ class SolverPool {
   /// aggregate_solver_stats(solver_stats()).
   SolverStats aggregated_stats() const;
 
+  /// End-to-end service-time distribution (one observation per completed
+  /// job, cache hits included — they are the latencies tenants see).
+  const obs::Histogram& solve_latency() const { return solve_latency_; }
+
  private:
   struct Job {
     SolveRequest request;
@@ -171,6 +176,13 @@ class SolverPool {
 
   mutable std::mutex stats_mutex_;
   std::vector<SolverStats> worker_stats_;
+
+  /// Observed in run_job at both exits (factor-cache fast path and the
+  /// full pipeline); the exporter renders it as
+  /// `treemem_solve_latency_seconds`.
+  obs::Histogram solve_latency_{obs::Histogram::exponential_bounds(1e-6,
+                                                                   10.0)};
+  std::uint64_t metrics_token_ = 0;  ///< exporter registration handle
 
   std::vector<std::unique_ptr<Solver>> solvers_;
   std::vector<std::thread> threads_;

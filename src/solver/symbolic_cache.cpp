@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <utility>
 
+#include "obs/trace.hpp"
+
 namespace treemem {
 
 namespace {
@@ -77,6 +79,11 @@ void SymbolicCache::evict_lru_locked() {
   }
   --entry_count_;
   evictions_.fetch_add(1, std::memory_order_relaxed);
+  obs::TraceRecorder& recorder = obs::TraceRecorder::instance();
+  if (recorder.enabled()) {
+    recorder.instant("symbolic_evict", "cache", obs::TraceRecorder::kNoLane,
+                     "entries", static_cast<long long>(entry_count_));
+  }
 }
 
 void SymbolicCache::enforce_caps_locked() {
@@ -135,6 +142,10 @@ SymbolicCache::LookupResult SymbolicCache::lookup(
   std::unique_lock<std::mutex> lock(entry->build_mutex);
   const bool need_build = !entry->symbolic;
   (need_build ? misses_ : hits_).fetch_add(1, std::memory_order_relaxed);
+  obs::TraceRecorder& recorder = obs::TraceRecorder::instance();
+  if (recorder.enabled()) {
+    recorder.instant(need_build ? "symbolic_miss" : "symbolic_hit", "cache");
+  }
   if (need_build) {
     Solver builder;
     builder.analyze(entry->pattern, options_.analyze).plan(options_.plan);

@@ -62,6 +62,11 @@
 #include "solver/symbolic_cache.hpp"
 #include "solver/symbolic_store.hpp"
 
+// Observability: low-overhead tracing (Chrome trace_event timelines) and
+// the process-wide metrics registry (Prometheus-style exposition).
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 // Experiment layer.
 #include "perf/corpus.hpp"
 #include "perf/profile.hpp"
